@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spack.compilers import CompilerRegistry
+from repro.spack.repo import builtin_repository
+
+
+#: Packages spanning the possible-dependency range of the builtin repository,
+#: from leaves to MPI-reaching packages (the x-axis of Figures 7a-7c).
+PACKAGE_SAMPLE = (
+    "zlib",
+    "bzip2",
+    "readline",
+    "openssl",
+    "pkgconf",
+    "libxml2",
+    "zfp",
+    "hwloc",
+    "sz",
+    "c-blosc",
+    "hdf5",
+)
+
+#: Smaller sample for the preset / old-vs-new comparisons (kept small because
+#: every entry is solved several times).
+SMALL_SAMPLE = ("zlib", "openssl", "hwloc", "sz", "hdf5")
+
+
+@pytest.fixture(scope="session")
+def repo():
+    return builtin_repository()
+
+
+@pytest.fixture(scope="session")
+def compilers():
+    return CompilerRegistry()

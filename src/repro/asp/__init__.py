@@ -1,0 +1,33 @@
+"""A self-contained Answer Set Programming (ASP) system.
+
+This subpackage replaces *clingo* in the paper's architecture.  It provides:
+
+* an input language (a large, practical subset of the gringo language):
+  facts, normal rules, integrity constraints, choice rules with cardinality
+  bounds, conditional literals, comparison builtins, arithmetic terms, and
+  multi-level ``#minimize`` statements;
+* a safe-rule, bottom-up grounder (:mod:`repro.asp.grounder`);
+* a CDCL solver with watched literals, clause learning, restarts, and
+  linear (cardinality / pseudo-Boolean) constraint propagation
+  (:mod:`repro.asp.solver`);
+* stable-model enforcement via lazy unfounded-set (loop nogood) checking
+  (:mod:`repro.asp.unfounded`);
+* lexicographic multi-level optimization (:mod:`repro.asp.optimization`);
+* a clingo-like facade (:class:`repro.asp.control.Control`) with per-phase
+  timing statistics matching the paper's setup/load/ground/solve breakdown.
+"""
+
+from repro.asp.configs import SolverConfig
+from repro.asp.control import Control, Model, SolveResult
+from repro.asp.errors import ASPError, GroundingError, ParseError, SolveError
+
+__all__ = [
+    "ASPError",
+    "Control",
+    "GroundingError",
+    "Model",
+    "ParseError",
+    "SolveError",
+    "SolveResult",
+    "SolverConfig",
+]

@@ -1,0 +1,253 @@
+"""Clark completion: translate a :class:`GroundProgram` into a CDCL instance.
+
+Every ground atom becomes a solver variable.  Every rule body gets a *body
+literal* (an auxiliary variable for bodies with more than one literal) so the
+completion ("an atom is true only if one of its supporting bodies is true")
+can be expressed compactly and so that the unfounded-set checker and the
+optimization driver can refer to rule bodies directly.
+
+Choice rules contribute *support* for their candidate atoms without forcing
+them, plus cardinality constraints for their bounds, exactly mirroring the
+semantics used by the paper's encoding (e.g. "pick exactly one version per
+node", "pick at most one installed hash per package").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.asp.errors import SolveError
+from repro.asp.ground import GroundProgram
+from repro.asp.solver import CDCLSolver
+
+
+@dataclass(frozen=True)
+class Support:
+    """One way an atom can be derived: a body literal plus the body's positive
+    atoms (needed by the unfounded-set check to identify external support)."""
+
+    body_literal: int
+    positive_atoms: Tuple[int, ...]
+
+
+@dataclass
+class ObjectiveTerm:
+    """A weighted solver literal contributing to one optimization level."""
+
+    weight: int
+    variable: int
+    key: Tuple = ()
+
+
+@dataclass
+class CompletedProgram:
+    """The result of completion: a solver plus the mappings around it."""
+
+    solver: CDCLSolver
+    ground_program: GroundProgram
+    atom_to_var: Dict[int, int] = field(default_factory=dict)
+    var_to_atom: Dict[int, int] = field(default_factory=dict)
+    supports: Dict[int, List[Support]] = field(default_factory=dict)
+    fact_atoms: Set[int] = field(default_factory=set)
+    objectives: Dict[int, List[ObjectiveTerm]] = field(default_factory=dict)
+    objective_bases: Dict[int, int] = field(default_factory=dict)
+    true_literal: int = 0
+
+    def variable(self, atom_id: int) -> int:
+        return self.atom_to_var[atom_id]
+
+    def true_atoms(self) -> Set[int]:
+        """Atoms true in the solver's current model."""
+        return {
+            atom_id
+            for atom_id, var in self.atom_to_var.items()
+            if self.solver.model_value(var)
+        }
+
+    def level_cost(self, priority: int) -> int:
+        """Cost of the current model at one priority level."""
+        base = self.objective_bases.get(priority, 0)
+        total = base
+        for term in self.objectives.get(priority, []):
+            if self.solver.model_value(term.variable):
+                total += term.weight
+        return total
+
+    def cost_vector(self) -> Dict[int, int]:
+        """Costs of the current model at every priority level (descending)."""
+        priorities = sorted(
+            set(self.objectives) | set(self.objective_bases), reverse=True
+        )
+        return {priority: self.level_cost(priority) for priority in priorities}
+
+
+class CompletionBuilder:
+    """Builds a :class:`CompletedProgram` from a :class:`GroundProgram`."""
+
+    def __init__(self, ground_program: GroundProgram, solver: Optional[CDCLSolver] = None):
+        self.ground_program = ground_program
+        self.solver = solver or CDCLSolver()
+        self.completed = CompletedProgram(solver=self.solver, ground_program=ground_program)
+        self._body_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+
+    # -- low-level helpers --------------------------------------------------
+
+    def _atom_var(self, atom_id: int) -> int:
+        var = self.completed.atom_to_var.get(atom_id)
+        if var is None:
+            var = self.solver.new_var()
+            self.completed.atom_to_var[atom_id] = var
+            self.completed.var_to_atom[var] = atom_id
+        return var
+
+    def _body_literals(self, pos: Sequence[int], neg: Sequence[int]) -> List[int]:
+        literals = [self._atom_var(a) for a in pos]
+        literals += [-self._atom_var(a) for a in neg]
+        return literals
+
+    def _body_literal(self, pos: Sequence[int], neg: Sequence[int]) -> int:
+        """Return a literal equivalent to the conjunction of the body."""
+        literals = self._body_literals(pos, neg)
+        if not literals:
+            return self.completed.true_literal
+        if len(literals) == 1:
+            return literals[0]
+        key = (tuple(sorted(pos)), tuple(sorted(neg)))
+        cached = self._body_cache.get(key)
+        if cached is not None:
+            return cached
+        aux = self.solver.new_var()
+        for literal in literals:
+            self.solver.add_clause([-aux, literal])
+        self.solver.add_clause([aux] + [-literal for literal in literals])
+        self._body_cache[key] = aux
+        return aux
+
+    # -- build steps ------------------------------------------------------------
+
+    def build(self) -> CompletedProgram:
+        self._create_true_constant()
+        self._intern_all_atoms()
+        self._add_facts()
+        self._add_normal_rules()
+        self._add_choice_rules()
+        self._add_constraints()
+        self._add_completion_clauses()
+        self._add_objectives()
+        return self.completed
+
+    def _create_true_constant(self):
+        true_var = self.solver.new_var()
+        self.solver.add_clause([true_var])
+        self.completed.true_literal = true_var
+
+    def _intern_all_atoms(self):
+        for atom_id, _ in self.ground_program.atoms.atoms():
+            self._atom_var(atom_id)
+
+    def _add_facts(self):
+        for atom_id in self.ground_program.facts:
+            self.completed.fact_atoms.add(atom_id)
+            self.solver.add_clause([self._atom_var(atom_id)])
+
+    def _add_normal_rules(self):
+        for rule in self.ground_program.rules:
+            head_var = self._atom_var(rule.head)
+            body_literal = self._body_literal(rule.pos, rule.neg)
+            self.solver.add_clause([-body_literal, head_var])
+            self.completed.supports.setdefault(rule.head, []).append(
+                Support(body_literal, tuple(rule.pos))
+            )
+
+    def _add_choice_rules(self):
+        for choice in self.ground_program.choices:
+            body_literal = self._body_literal(choice.pos, choice.neg)
+            candidates: List[int] = []
+            seen: Set[int] = set()
+            for atom_id in choice.atoms:
+                if atom_id in seen:
+                    continue
+                seen.add(atom_id)
+                candidates.append(atom_id)
+                self.completed.supports.setdefault(atom_id, []).append(
+                    Support(body_literal, tuple(choice.pos))
+                )
+            candidate_vars = [self._atom_var(a) for a in candidates]
+            count = len(candidate_vars)
+
+            lower = choice.lower
+            upper = choice.upper
+            if lower is not None and lower > 0:
+                if lower > count:
+                    # Body must never hold: the bound is unreachable.
+                    self.solver.add_clause([-body_literal])
+                else:
+                    self.solver.add_linear_geq(
+                        candidate_vars + [-body_literal],
+                        [1] * count + [lower],
+                        lower,
+                    )
+            if upper is not None and upper < count:
+                slack_needed = count - upper
+                self.solver.add_linear_geq(
+                    [-v for v in candidate_vars] + [-body_literal],
+                    [1] * count + [slack_needed],
+                    slack_needed,
+                )
+
+    def _add_constraints(self):
+        for constraint in self.ground_program.constraints:
+            clause = [-self._atom_var(a) for a in constraint.pos]
+            clause += [self._atom_var(a) for a in constraint.neg]
+            self.solver.add_clause(clause)
+
+    def _add_completion_clauses(self):
+        for atom_id, _ in self.ground_program.atoms.atoms():
+            if atom_id in self.completed.fact_atoms:
+                continue
+            atom_var = self._atom_var(atom_id)
+            supports = self.completed.supports.get(atom_id, [])
+            if not supports:
+                self.solver.add_clause([-atom_var])
+                continue
+            clause = [-atom_var] + [s.body_literal for s in supports]
+            self.solver.add_clause(clause)
+
+    def _add_objectives(self):
+        grouped: Dict[Tuple, List] = {}
+        for literal in self.ground_program.minimize_literals:
+            grouped.setdefault(literal.key, []).append(literal)
+
+        for key, elements in grouped.items():
+            priority = elements[0].priority
+            weight = elements[0].weight
+            if weight < 0:
+                raise SolveError("negative minimize weights are not supported")
+            if weight == 0:
+                continue
+
+            unconditional = any(not e.pos and not e.neg for e in elements)
+            if unconditional:
+                base = self.completed.objective_bases.get(priority, 0)
+                self.completed.objective_bases[priority] = base + weight
+                continue
+
+            # One objective variable per unique key; it is true iff at least
+            # one of the element conditions holds.
+            objective_var = self.solver.new_var()
+            condition_literals: List[int] = []
+            for element in elements:
+                body_literal = self._body_literal(element.pos, element.neg)
+                condition_literals.append(body_literal)
+                self.solver.add_clause([-body_literal, objective_var])
+            self.solver.add_clause([-objective_var] + condition_literals)
+
+            self.completed.objectives.setdefault(priority, []).append(
+                ObjectiveTerm(weight=weight, variable=objective_var, key=key)
+            )
+
+
+def complete(ground_program: GroundProgram, solver: Optional[CDCLSolver] = None) -> CompletedProgram:
+    """Convenience wrapper around :class:`CompletionBuilder`."""
+    return CompletionBuilder(ground_program, solver).build()

@@ -1,0 +1,205 @@
+"""clingo-like facade over the parser, grounder, completion, and optimizer.
+
+Typical use (mirroring how the concretizer drives clingo in the paper)::
+
+    ctl = Control(config=SolverConfig.preset("tweety"))
+    ctl.load(LOGIC_PROGRAM_TEXT)          # "load" phase
+    ctl.add_fact("node", "hdf5")          # facts from the problem instance
+    ctl.ground()                          # "ground" phase
+    result = ctl.solve()                  # "solve" phase
+    if result.satisfiable:
+        for atom in result.model.atoms("version"):
+            ...
+
+Phase timings (load/ground/solve) are recorded on ``ctl.timer`` so the
+benchmark harness can reproduce the paper's Figure 7 measurements; the caller
+(the Spack layer) accounts the fact-generation "setup" phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.asp.completion import CompletedProgram, complete
+from repro.asp.configs import SolverConfig
+from repro.asp.errors import SolveError
+from repro.asp.ground import GroundProgram
+from repro.asp.grounder import Grounder
+from repro.asp.optimization import OptimizationResult, Optimizer
+from repro.asp.parser import parse_program
+from repro.asp.solver import CDCLSolver
+from repro.asp.stats import PhaseTimer
+from repro.asp.syntax import Program, ground_atom
+
+
+class Model:
+    """A stable model: a set of ground atoms with convenient accessors."""
+
+    def __init__(self, atoms: Iterable[Tuple], costs: Optional[Dict[int, int]] = None):
+        self._atoms: Set[Tuple] = set(atoms)
+        self.costs: Dict[int, int] = dict(costs or {})
+        self._by_predicate: Dict[str, List[Tuple]] = {}
+        for atom in self._atoms:
+            self._by_predicate.setdefault(atom[0], []).append(atom)
+        for values in self._by_predicate.values():
+            values.sort(key=lambda a: tuple(str(x) for x in a[1:]))
+
+    def __contains__(self, atom: Tuple) -> bool:
+        return tuple(atom) in self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self):
+        return iter(self._atoms)
+
+    def atoms(self, predicate: Optional[str] = None) -> List[Tuple]:
+        """All atoms, or just those of one predicate."""
+        if predicate is None:
+            return sorted(self._atoms, key=lambda a: (a[0],) + tuple(str(x) for x in a[1:]))
+        return list(self._by_predicate.get(predicate, []))
+
+    def arguments(self, predicate: str) -> List[Tuple]:
+        """Argument tuples (without the predicate name) of one predicate."""
+        return [atom[1:] for atom in self._by_predicate.get(predicate, [])]
+
+    def holds(self, predicate: str, *args) -> bool:
+        return ground_atom(predicate, *args) in self._atoms
+
+    def cost_tuple(self) -> Tuple[int, ...]:
+        return tuple(self.costs[p] for p in sorted(self.costs, reverse=True))
+
+
+@dataclass
+class SolveResult:
+    """Outcome of :meth:`Control.solve`."""
+
+    satisfiable: bool
+    optimal: bool = False
+    model: Optional[Model] = None
+    costs: Dict[int, int] = field(default_factory=dict)
+    statistics: Dict[str, object] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class Control:
+    """Top-level entry point of the ASP system (the 'clingo' object)."""
+
+    def __init__(self, config: Optional[SolverConfig] = None):
+        self.config = config or SolverConfig.preset("tweety")
+        self.timer = PhaseTimer()
+        self.program = Program()
+        self.extra_facts: List[Tuple] = []
+        self.ground_program: Optional[GroundProgram] = None
+        self.completed: Optional[CompletedProgram] = None
+        self._optimizer: Optional[Optimizer] = None
+
+    # -- program construction ------------------------------------------------
+
+    def load(self, text: str) -> "Control":
+        """Parse ASP source text and add it to the program ("load" phase)."""
+        with self.timer.phase("load"):
+            parsed = parse_program(text)
+            self.program.extend(parsed)
+        return self
+
+    # clingo spells this `add`; keep both for familiarity.
+    add = load
+
+    def add_fact(self, name: str, *args) -> "Control":
+        """Add one ground fact built from Python values (str/int/bool)."""
+        self.extra_facts.append(ground_atom(name, *args))
+        return self
+
+    def add_facts(self, facts: Iterable[Tuple]) -> "Control":
+        """Add many ground facts; each is ``(predicate, arg1, arg2, ...)``."""
+        for atom in facts:
+            self.add_fact(*atom)
+        return self
+
+    # -- grounding ------------------------------------------------------------
+
+    def ground(self) -> GroundProgram:
+        """Ground the program against the accumulated facts ("ground" phase)."""
+        with self.timer.phase("ground"):
+            grounder = Grounder(self.program, self.extra_facts)
+            self.ground_program = grounder.ground()
+        return self.ground_program
+
+    # -- solving ---------------------------------------------------------------
+
+    def _build_solver(self) -> CDCLSolver:
+        return CDCLSolver(
+            heuristic=self.config.heuristic,
+            default_phase=self.config.default_phase,
+            restart_strategy=self.config.restart_strategy,
+            restart_base=self.config.restart_base,
+            var_decay=self.config.var_decay,
+        )
+
+    def solve(self, on_model=None) -> SolveResult:
+        """Complete, search, and optimize ("solve" phase)."""
+        if self.ground_program is None:
+            self.ground()
+
+        with self.timer.phase("solve"):
+            self.completed = complete(self.ground_program, self._build_solver())
+            self._optimizer = Optimizer(
+                self.completed,
+                enforce_stability=self.config.enforce_stability,
+                zero_first=self.config.zero_first,
+            )
+            outcome: OptimizationResult = self._optimizer.optimize()
+
+        statistics: Dict[str, object] = {
+            "ground": self.ground_program.statistics(),
+            "solver": self.completed.solver.statistics(),
+            "optimization": self._optimizer.statistics(),
+            "config": self.config.name,
+        }
+
+        if not outcome.satisfiable:
+            return SolveResult(
+                satisfiable=False,
+                statistics=statistics,
+                timings=self.timer.as_dict(),
+            )
+
+        atom_table = self.ground_program.atoms
+        model = Model(
+            (atom_table.atom(atom_id) for atom_id in outcome.atoms),
+            costs=outcome.costs,
+        )
+        if on_model is not None:
+            on_model(model)
+        return SolveResult(
+            satisfiable=True,
+            optimal=outcome.optimal,
+            model=model,
+            costs=outcome.costs,
+            statistics=statistics,
+            timings=self.timer.as_dict(),
+        )
+
+    # -- convenience ---------------------------------------------------------------
+
+    def solve_text(self, text: str, facts: Sequence[Tuple] = ()) -> SolveResult:
+        """One-shot helper: load text, add facts, ground, and solve."""
+        self.load(text)
+        self.add_facts(facts)
+        self.ground()
+        return self.solve()
+
+
+def solve_program(
+    text: str,
+    facts: Sequence[Tuple] = (),
+    config: Optional[SolverConfig] = None,
+) -> SolveResult:
+    """Module-level convenience wrapper used widely in tests and examples."""
+    control = Control(config=config)
+    return control.solve_text(text, facts)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ASP subsystem."""
+
+
+class ASPError(Exception):
+    """Base class for all errors raised by :mod:`repro.asp`."""
+
+
+class ParseError(ASPError):
+    """Raised when the ASP input language cannot be parsed.
+
+    Carries the offending line/column when available so error messages can
+    point at the source location inside a logic program.
+    """
+
+    def __init__(self, message, line=None, column=None, text=None):
+        self.line = line
+        self.column = column
+        self.text = text
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class GroundingError(ASPError):
+    """Raised when a rule cannot be grounded (e.g. unsafe variables)."""
+
+
+class SolveError(ASPError):
+    """Raised when the solver is used incorrectly (e.g. before grounding)."""

@@ -1,0 +1,167 @@
+"""Ground (propositional) program representation.
+
+The grounder (:mod:`repro.asp.grounder`) turns a first-order
+:class:`repro.asp.syntax.Program` into a :class:`GroundProgram`: every atom is
+interned as an integer id and rules become tuples of atom ids.  This is the
+input handed to Clark completion (:mod:`repro.asp.completion`) and the CDCL
+solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.asp.syntax import format_ground_atom
+
+GroundAtom = Tuple  # (predicate, arg1, arg2, ...)
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """``head :- pos_1, ..., not neg_1, ...`` over atom ids."""
+
+    head: int
+    pos: Tuple[int, ...]
+    neg: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GroundConstraint:
+    """An integrity constraint ``:- pos_1, ..., not neg_1, ...``."""
+
+    pos: Tuple[int, ...]
+    neg: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GroundChoice:
+    """A choice rule ``L { a_1; ...; a_n } U :- body`` over atom ids."""
+
+    atoms: Tuple[int, ...]
+    pos: Tuple[int, ...]
+    neg: Tuple[int, ...]
+    lower: Optional[int] = None
+    upper: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class GroundMinimizeLiteral:
+    """One ground ``#minimize`` element.
+
+    ``key`` identifies the element: duplicate keys must be counted only once
+    (clingo semantics), so the completion step merges conditions of elements
+    sharing a key into a single objective variable.
+    """
+
+    priority: int
+    weight: int
+    key: Tuple
+    pos: Tuple[int, ...]
+    neg: Tuple[int, ...]
+
+
+class AtomTable:
+    """Bidirectional interning of ground atoms to dense integer ids.
+
+    Atom id 0 is reserved as "invalid"; real atoms start at 1 so ids can be
+    safely negated elsewhere if needed.
+    """
+
+    def __init__(self):
+        self._to_id: Dict[GroundAtom, int] = {}
+        self._to_atom: List[Optional[GroundAtom]] = [None]
+
+    def __len__(self) -> int:
+        return len(self._to_atom) - 1
+
+    def __contains__(self, atom: GroundAtom) -> bool:
+        return atom in self._to_id
+
+    def intern(self, atom: GroundAtom) -> int:
+        atom_id = self._to_id.get(atom)
+        if atom_id is None:
+            atom_id = len(self._to_atom)
+            self._to_id[atom] = atom_id
+            self._to_atom.append(atom)
+        return atom_id
+
+    def lookup(self, atom: GroundAtom) -> Optional[int]:
+        return self._to_id.get(atom)
+
+    def atom(self, atom_id: int) -> GroundAtom:
+        return self._to_atom[atom_id]
+
+    def atoms(self):
+        """Iterate over (id, atom) pairs."""
+        for atom_id in range(1, len(self._to_atom)):
+            yield atom_id, self._to_atom[atom_id]
+
+
+@dataclass
+class GroundProgram:
+    """The complete propositional program produced by grounding."""
+
+    atoms: AtomTable = field(default_factory=AtomTable)
+    facts: Set[int] = field(default_factory=set)
+    rules: List[GroundRule] = field(default_factory=list)
+    constraints: List[GroundConstraint] = field(default_factory=list)
+    choices: List[GroundChoice] = field(default_factory=list)
+    minimize_literals: List[GroundMinimizeLiteral] = field(default_factory=list)
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def num_rules(self) -> int:
+        return len(self.rules) + len(self.choices) + len(self.constraints)
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "atoms": self.num_atoms,
+            "facts": len(self.facts),
+            "normal_rules": len(self.rules),
+            "choice_rules": len(self.choices),
+            "constraints": len(self.constraints),
+            "minimize_literals": len(self.minimize_literals),
+        }
+
+    # -- debugging helpers ----------------------------------------------------
+
+    def format_atom(self, atom_id: int) -> str:
+        return format_ground_atom(self.atoms.atom(atom_id))
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump of the ground program (for tests/debugging)."""
+        lines = []
+        for atom_id in sorted(self.facts):
+            lines.append(self.format_atom(atom_id) + ".")
+        for rule in self.rules:
+            lines.append(self._format_rule(rule.head, rule.pos, rule.neg))
+        for choice in self.choices:
+            inner = "; ".join(self.format_atom(a) for a in choice.atoms)
+            lower = f"{choice.lower} " if choice.lower is not None else ""
+            upper = f" {choice.upper}" if choice.upper is not None else ""
+            head = f"{lower}{{ {inner} }}{upper}"
+            lines.append(self._format_rule_text(head, choice.pos, choice.neg))
+        for constraint in self.constraints:
+            lines.append(self._format_rule_text("", constraint.pos, constraint.neg))
+        if limit is not None:
+            lines = lines[:limit]
+        return "\n".join(lines)
+
+    def _format_rule(self, head: int, pos, neg) -> str:
+        return self._format_rule_text(self.format_atom(head), pos, neg)
+
+    def _format_rule_text(self, head_text: str, pos, neg) -> str:
+        body_parts = [self.format_atom(a) for a in pos]
+        body_parts += ["not " + self.format_atom(a) for a in neg]
+        if not body_parts:
+            return f"{head_text}."
+        body = ", ".join(body_parts)
+        if head_text:
+            return f"{head_text} :- {body}."
+        return f":- {body}."

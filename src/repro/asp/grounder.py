@@ -1,0 +1,711 @@
+"""Bottom-up grounder: first-order program + facts -> :class:`GroundProgram`.
+
+The grounder instantiates safe rules by joining positive body literals against
+the database of *possible* atoms (an over-approximation of everything that can
+become true), processing predicates in dependency (SCC) order and iterating
+each component to a fixpoint.  Conditional literals and choice-element
+conditions are expanded over *certain* atoms (facts and atoms derived purely
+from facts), which is exactly how the paper's generalized condition handling
+(``condition_requirement`` / ``imposed_constraint``) uses them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.asp.errors import GroundingError
+from repro.asp.ground import (
+    GroundChoice,
+    GroundConstraint,
+    GroundMinimizeLiteral,
+    GroundProgram,
+    GroundRule,
+)
+from repro.asp.syntax import (
+    Atom,
+    BinaryOp,
+    Choice,
+    Comparison,
+    ConditionalLiteral,
+    Constant,
+    Literal,
+    Minimize,
+    Number,
+    Program,
+    Rule,
+    String,
+    Variable,
+    evaluate_term,
+    term_is_ground,
+    term_variables,
+)
+
+Substitution = Dict[str, object]
+
+
+class _Relation:
+    """All known argument tuples for one predicate, with a first-column index."""
+
+    __slots__ = ("tuples", "_seen", "index0")
+
+    def __init__(self):
+        self.tuples: List[tuple] = []
+        self._seen: Set[tuple] = set()
+        self.index0: Dict[object, List[tuple]] = {}
+
+    def add(self, args: tuple) -> bool:
+        if args in self._seen:
+            return False
+        self._seen.add(args)
+        self.tuples.append(args)
+        if args:
+            self.index0.setdefault(args[0], []).append(args)
+        return True
+
+    def __contains__(self, args: tuple) -> bool:
+        return args in self._seen
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def candidates(self, first_value=None) -> List[tuple]:
+        if first_value is None:
+            return self.tuples
+        return self.index0.get(first_value, [])
+
+
+class _AtomDatabase:
+    """Possible/certain atom storage keyed by predicate name."""
+
+    def __init__(self):
+        self.relations: Dict[str, _Relation] = {}
+
+    def relation(self, name: str) -> _Relation:
+        relation = self.relations.get(name)
+        if relation is None:
+            relation = _Relation()
+            self.relations[name] = relation
+        return relation
+
+    def add(self, name: str, args: tuple) -> bool:
+        return self.relation(name).add(args)
+
+    def contains(self, name: str, args: tuple) -> bool:
+        relation = self.relations.get(name)
+        return relation is not None and args in relation
+
+    def count(self, name: str) -> int:
+        relation = self.relations.get(name)
+        return len(relation) if relation else 0
+
+    def candidates(self, name: str, first_value=None) -> List[tuple]:
+        relation = self.relations.get(name)
+        if relation is None:
+            return []
+        return relation.candidates(first_value)
+
+
+def _pattern_first_value(atom: Atom, substitution: Substitution):
+    """If the first argument of ``atom`` is bound/ground, return its value."""
+    if not atom.arguments:
+        return None
+    first = atom.arguments[0]
+    if isinstance(first, Variable):
+        if first.name == "_":
+            return None
+        return substitution.get(first.name)
+    if term_is_ground(first):
+        return evaluate_term(first, substitution)
+    return None
+
+
+def _match_atom(atom: Atom, args: tuple, substitution: Substitution) -> Optional[Substitution]:
+    """Try to unify ``atom``'s argument patterns against a ground tuple.
+
+    Returns an extended substitution, or None if the match fails.  The input
+    substitution is not modified.
+    """
+    if len(atom.arguments) != len(args):
+        return None
+    result = substitution
+    copied = False
+    for pattern, value in zip(atom.arguments, args):
+        if isinstance(pattern, Variable):
+            if pattern.name == "_":
+                continue
+            bound = result.get(pattern.name, _UNBOUND)
+            if bound is _UNBOUND:
+                if not copied:
+                    result = dict(result)
+                    copied = True
+                result[pattern.name] = value
+            elif bound != value:
+                return None
+        else:
+            try:
+                expected = evaluate_term(pattern, result)
+            except KeyError:
+                raise GroundingError(
+                    f"argument {pattern} of {atom} contains unbound variables"
+                )
+            if expected != value:
+                return None
+    return result
+
+
+class _UnboundType:
+    __repr__ = lambda self: "<unbound>"  # noqa: E731
+
+
+_UNBOUND = _UnboundType()
+
+
+def _collect_variables(items: Iterable) -> Set[str]:
+    names: Set[str] = set()
+    for item in items:
+        for variable in item.variables():
+            names.add(variable.name)
+    return names
+
+
+class Grounder:
+    """Grounds a :class:`Program` (plus programmatic facts) bottom-up."""
+
+    def __init__(self, program: Program, extra_facts: Sequence[tuple] = ()):
+        self.program = program
+        self.ground_program = GroundProgram()
+        self.possible = _AtomDatabase()
+        self.certain = _AtomDatabase()
+        self._rule_keys: Set[tuple] = set()
+        self._choice_keys: Set[tuple] = set()
+        self._constraint_keys: Set[tuple] = set()
+        self._extra_facts = list(extra_facts)
+
+    # -- public API ---------------------------------------------------------
+
+    def ground(self) -> GroundProgram:
+        facts, rules, constraints = self._split_statements()
+        for rule in rules + constraints:
+            self._check_safety(rule)
+        for minimize in self.program.minimizes:
+            self._check_minimize_safety(minimize)
+        self._add_facts(facts)
+        components = self._stratify(rules)
+        for component_rules in components:
+            self._ground_component(component_rules)
+        for constraint in constraints:
+            self._ground_constraint(constraint)
+        for minimize in self.program.minimizes:
+            self._ground_minimize(minimize)
+        return self.ground_program
+
+    # -- setup ----------------------------------------------------------------
+
+    def _split_statements(self):
+        facts: List[tuple] = list(self._extra_facts)
+        rules: List[Rule] = []
+        constraints: List[Rule] = []
+        for rule in self.program.rules:
+            if rule.is_fact and rule.head.is_ground():
+                facts.append(rule.head.ground({}))
+            elif rule.is_constraint:
+                constraints.append(rule)
+            else:
+                rules.append(rule)
+        return facts, rules, constraints
+
+    def _check_safety(self, rule: Rule):
+        """Static safety check: every variable must be bound by a positive
+        body literal (or, for conditional/choice elements, by their local
+        condition)."""
+        positives, negatives, comparisons, conditionals = self._split_body(rule.body)
+        bound = _collect_variables(positives)
+
+        def require(variables: Set[str], where: str):
+            unbound = variables - bound
+            if unbound:
+                raise GroundingError(
+                    f"unsafe variables {sorted(unbound)} in {where} of rule: {rule}"
+                )
+
+        for negative in negatives:
+            require({v.name for v in negative.variables()}, "negative literal")
+        for comparison in comparisons:
+            require({v.name for v in comparison.variables()}, "comparison")
+        for conditional in conditionals:
+            local = bound | _collect_variables(
+                c for c in conditional.condition if isinstance(c, Literal) and not c.negated
+            )
+            unbound = {v.name for v in conditional.literal.variables()} - local
+            if unbound:
+                raise GroundingError(
+                    f"unsafe variables {sorted(unbound)} in conditional literal of rule: {rule}"
+                )
+        if isinstance(rule.head, Atom):
+            require({v.name for v in rule.head.variables()}, "head")
+        elif isinstance(rule.head, Choice):
+            for element in rule.head.elements:
+                local = bound | _collect_variables(
+                    c for c in element.condition if isinstance(c, Literal) and not c.negated
+                )
+                unbound = {v.name for v in element.atom.variables()} - local
+                if unbound:
+                    raise GroundingError(
+                        f"unsafe variables {sorted(unbound)} in choice element of rule: {rule}"
+                    )
+            for bound_term in (rule.head.lower, rule.head.upper):
+                if bound_term is not None:
+                    require({v.name for v in term_variables(bound_term)}, "cardinality bound")
+
+    def _check_minimize_safety(self, minimize: Minimize):
+        for element in minimize.elements:
+            positives = [
+                c for c in element.condition if isinstance(c, Literal) and not c.negated
+            ]
+            bound = _collect_variables(positives)
+            needed: Set[str] = set()
+            for term in (element.weight, element.priority) + element.terms:
+                needed.update(v.name for v in term_variables(term))
+            for item in element.condition:
+                if isinstance(item, (Comparison,)) or (
+                    isinstance(item, Literal) and item.negated
+                ):
+                    needed.update(v.name for v in item.variables())
+            unbound = needed - bound
+            if unbound:
+                raise GroundingError(
+                    f"unsafe variables {sorted(unbound)} in minimize element: {element}"
+                )
+
+    def _add_facts(self, facts: Sequence[tuple]):
+        for atom in facts:
+            name, args = atom[0], tuple(atom[1:])
+            self.possible.add(name, args)
+            self.certain.add(name, args)
+            atom_id = self.ground_program.atoms.intern(atom)
+            self.ground_program.facts.add(atom_id)
+
+    # -- stratification ---------------------------------------------------------
+
+    def _head_predicates(self, rule: Rule) -> List[str]:
+        if isinstance(rule.head, Atom):
+            return [rule.head.name]
+        if isinstance(rule.head, Choice):
+            return [element.atom.name for element in rule.head.elements]
+        return []
+
+    def _body_predicates(self, rule: Rule) -> List[str]:
+        names = []
+        for element in rule.body:
+            if isinstance(element, Literal):
+                names.append(element.atom.name)
+            elif isinstance(element, ConditionalLiteral):
+                names.append(element.literal.atom.name)
+                for condition in element.condition:
+                    if isinstance(condition, Literal):
+                        names.append(condition.atom.name)
+        if isinstance(rule.head, Choice):
+            for element in rule.head.elements:
+                for condition in element.condition:
+                    if isinstance(condition, Literal):
+                        names.append(condition.atom.name)
+        return names
+
+    def _stratify(self, rules: List[Rule]) -> List[List[Rule]]:
+        """Group rules into SCC components of the predicate dependency graph,
+        ordered so that dependencies are grounded first."""
+        rules_by_head: Dict[str, List[Rule]] = {}
+        graph: Dict[str, Set[str]] = {}
+        for rule in rules:
+            heads = self._head_predicates(rule)
+            bodies = self._body_predicates(rule)
+            for head in heads:
+                rules_by_head.setdefault(head, []).append(rule)
+                graph.setdefault(head, set()).update(bodies)
+                for body in bodies:
+                    graph.setdefault(body, set())
+
+        sccs = _tarjan_sccs(graph)
+        # _tarjan_sccs returns components in reverse topological order of the
+        # "head depends on body" graph, i.e. dependencies come first.
+        components: List[List[Rule]] = []
+        seen_rules: Set[int] = set()
+        for component in sccs:
+            component_rules: List[Rule] = []
+            for predicate in component:
+                for rule in rules_by_head.get(predicate, []):
+                    if id(rule) not in seen_rules:
+                        seen_rules.add(id(rule))
+                        component_rules.append(rule)
+            if component_rules:
+                components.append(component_rules)
+        return components
+
+    # -- joining ---------------------------------------------------------------
+
+    def _join(
+        self,
+        positives: List[Literal],
+        comparisons: List[Comparison],
+        substitution: Substitution,
+        database: _AtomDatabase,
+    ) -> Iterator[Substitution]:
+        """Enumerate substitutions satisfying all positive literals (against
+        ``database``) and all comparisons."""
+        yield from self._join_step(list(positives), list(comparisons), substitution, database)
+
+    def _join_step(self, positives, comparisons, substitution, database):
+        # Evaluate any comparison whose variables are all bound.
+        remaining_comparisons = []
+        for comparison in comparisons:
+            if all(v.name in substitution for v in comparison.variables()):
+                if not comparison.evaluate(substitution):
+                    return
+            else:
+                remaining_comparisons.append(comparison)
+
+        if not positives:
+            if remaining_comparisons:
+                unresolved = ", ".join(str(c) for c in remaining_comparisons)
+                raise GroundingError(f"unsafe comparison(s): {unresolved}")
+            yield substitution
+            return
+
+        # Pick the cheapest literal next (fewest current candidates).
+        best_index = 0
+        best_cost = None
+        for index, literal in enumerate(positives):
+            first = _pattern_first_value(literal.atom, substitution)
+            if first is not None:
+                cost = len(database.candidates(literal.atom.name, first))
+            else:
+                cost = database.count(literal.atom.name)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_index = index
+            if cost == 0:
+                break
+
+        literal = positives[best_index]
+        rest = positives[:best_index] + positives[best_index + 1 :]
+        first = _pattern_first_value(literal.atom, substitution)
+        for args in database.candidates(literal.atom.name, first):
+            extended = _match_atom(literal.atom, args, substitution)
+            if extended is not None:
+                yield from self._join_step(rest, remaining_comparisons, extended, database)
+
+    # -- body grounding -----------------------------------------------------------
+
+    def _split_body(self, body):
+        positives: List[Literal] = []
+        negatives: List[Literal] = []
+        comparisons: List[Comparison] = []
+        conditionals: List[ConditionalLiteral] = []
+        for element in body:
+            if isinstance(element, Literal):
+                (negatives if element.negated else positives).append(element)
+            elif isinstance(element, Comparison):
+                comparisons.append(element)
+            elif isinstance(element, ConditionalLiteral):
+                conditionals.append(element)
+            else:
+                raise GroundingError(f"unsupported body element: {element!r}")
+        return positives, negatives, comparisons, conditionals
+
+    def _expand_conditional(
+        self, conditional: ConditionalLiteral, substitution: Substitution
+    ) -> Optional[Tuple[List[tuple], List[tuple]]]:
+        """Expand a conditional literal into (positive, negative) ground atoms.
+
+        Conditions range over *certain* atoms.  Returns None if the expansion
+        makes the body unsatisfiable (an instance is certainly violated).
+        """
+        cond_positives: List[Literal] = []
+        cond_comparisons: List[Comparison] = []
+        for item in conditional.condition:
+            if isinstance(item, Literal):
+                if item.negated:
+                    raise GroundingError(
+                        "negated literals are not supported in conditions: "
+                        f"{conditional}"
+                    )
+                cond_positives.append(item)
+            elif isinstance(item, Comparison):
+                cond_comparisons.append(item)
+
+        pos_atoms: List[tuple] = []
+        neg_atoms: List[tuple] = []
+        for local in self._join(cond_positives, cond_comparisons, substitution, self.certain):
+            atom = conditional.literal.atom.ground(local)
+            name, args = atom[0], tuple(atom[1:])
+            if conditional.literal.negated:
+                if self.certain.contains(name, args):
+                    return None
+                neg_atoms.append(atom)
+            else:
+                if self.certain.contains(name, args):
+                    continue  # certainly true; drop from the conjunction
+                pos_atoms.append(atom)
+        return pos_atoms, neg_atoms
+
+    def _ground_body(
+        self, body, database: _AtomDatabase
+    ) -> Iterator[Optional[Tuple[Substitution, List[tuple], List[tuple]]]]:
+        """Yield (substitution, pos_atoms, neg_atoms) for every body instance.
+
+        Positive atoms that are certain facts are dropped; instances whose
+        negative literals contradict certain facts are skipped.
+        """
+        positives, negatives, comparisons, conditionals = self._split_body(body)
+
+        bound_by_positives = _collect_variables(positives)
+        for negative in negatives:
+            unbound = set(v.name for v in negative.variables()) - bound_by_positives
+            if unbound:
+                raise GroundingError(
+                    f"unsafe variables {sorted(unbound)} in negative literal {negative}"
+                )
+
+        for substitution in self._join(positives, comparisons, {}, database):
+            pos_atoms: List[tuple] = []
+            neg_atoms: List[tuple] = []
+            feasible = True
+
+            for literal in positives:
+                atom = literal.atom.ground(substitution)
+                name, args = atom[0], tuple(atom[1:])
+                if self.certain.contains(name, args):
+                    continue
+                pos_atoms.append(atom)
+
+            for literal in negatives:
+                atom = literal.atom.ground(substitution)
+                name, args = atom[0], tuple(atom[1:])
+                if self.certain.contains(name, args):
+                    feasible = False
+                    break
+                neg_atoms.append(atom)
+            if not feasible:
+                continue
+
+            for conditional in conditionals:
+                expansion = self._expand_conditional(conditional, substitution)
+                if expansion is None:
+                    feasible = False
+                    break
+                cond_pos, cond_neg = expansion
+                pos_atoms.extend(cond_pos)
+                neg_atoms.extend(cond_neg)
+            if not feasible:
+                continue
+
+            yield substitution, pos_atoms, neg_atoms
+
+    # -- component grounding ---------------------------------------------------------
+
+    def _ground_component(self, rules: List[Rule]):
+        changed = True
+        while changed:
+            changed = False
+            for rule in rules:
+                if isinstance(rule.head, Choice):
+                    if self._ground_choice_rule(rule):
+                        changed = True
+                else:
+                    if self._ground_normal_rule(rule):
+                        changed = True
+
+    def _intern(self, atom: tuple) -> int:
+        return self.ground_program.atoms.intern(atom)
+
+    def _ground_normal_rule(self, rule: Rule) -> bool:
+        head: Atom = rule.head
+        changed = False
+        head_variables = set(v.name for v in head.variables())
+        for substitution, pos_atoms, neg_atoms in self._ground_body(rule.body, self.possible):
+            unbound = head_variables - set(substitution)
+            if unbound:
+                raise GroundingError(
+                    f"unsafe variables {sorted(unbound)} in head of rule: {rule}"
+                )
+            head_atom = head.ground(substitution)
+            key = (head_atom, tuple(pos_atoms), tuple(neg_atoms))
+            if key in self._rule_keys:
+                continue
+            self._rule_keys.add(key)
+            changed = True
+
+            name, args = head_atom[0], tuple(head_atom[1:])
+            head_id = self._intern(head_atom)
+            self.possible.add(name, args)
+
+            if not pos_atoms and not neg_atoms:
+                # The body is certainly true: the head is a fact.
+                if self.certain.add(name, args):
+                    pass
+                self.ground_program.facts.add(head_id)
+                continue
+
+            self.ground_program.rules.append(
+                GroundRule(
+                    head=head_id,
+                    pos=tuple(self._intern(a) for a in pos_atoms),
+                    neg=tuple(self._intern(a) for a in neg_atoms),
+                )
+            )
+        return changed
+
+    def _ground_choice_rule(self, rule: Rule) -> bool:
+        choice: Choice = rule.head
+        changed = False
+        for substitution, pos_atoms, neg_atoms in self._ground_body(rule.body, self.possible):
+            candidates: List[tuple] = []
+            for element in choice.elements:
+                candidates.extend(self._expand_choice_element(element, substitution))
+            lower = self._evaluate_bound(choice.lower, substitution)
+            upper = self._evaluate_bound(choice.upper, substitution)
+            key = (tuple(candidates), tuple(pos_atoms), tuple(neg_atoms), lower, upper)
+            if key in self._choice_keys:
+                continue
+            self._choice_keys.add(key)
+            changed = True
+
+            candidate_ids = []
+            for atom in candidates:
+                name, args = atom[0], tuple(atom[1:])
+                self.possible.add(name, args)
+                candidate_ids.append(self._intern(atom))
+
+            self.ground_program.choices.append(
+                GroundChoice(
+                    atoms=tuple(candidate_ids),
+                    pos=tuple(self._intern(a) for a in pos_atoms),
+                    neg=tuple(self._intern(a) for a in neg_atoms),
+                    lower=lower,
+                    upper=upper,
+                )
+            )
+        return changed
+
+    def _expand_choice_element(self, element, substitution: Substitution) -> List[tuple]:
+        positives: List[Literal] = []
+        comparisons: List[Comparison] = []
+        for item in element.condition:
+            if isinstance(item, Literal):
+                if item.negated:
+                    raise GroundingError(
+                        f"negated condition in choice element is unsupported: {element}"
+                    )
+                positives.append(item)
+            elif isinstance(item, Comparison):
+                comparisons.append(item)
+        atoms: List[tuple] = []
+        seen: Set[tuple] = set()
+        for local in self._join(positives, comparisons, substitution, self.certain):
+            atom = element.atom.ground(local)
+            if atom not in seen:
+                seen.add(atom)
+                atoms.append(atom)
+        return atoms
+
+    def _evaluate_bound(self, bound, substitution: Substitution) -> Optional[int]:
+        if bound is None:
+            return None
+        value = evaluate_term(bound, substitution)
+        if not isinstance(value, int):
+            raise GroundingError(f"cardinality bound is not an integer: {value!r}")
+        return value
+
+    # -- constraints and minimize ----------------------------------------------------
+
+    def _ground_constraint(self, rule: Rule):
+        for _, pos_atoms, neg_atoms in self._ground_body(rule.body, self.possible):
+            key = (tuple(pos_atoms), tuple(neg_atoms))
+            if key in self._constraint_keys:
+                continue
+            self._constraint_keys.add(key)
+            self.ground_program.constraints.append(
+                GroundConstraint(
+                    pos=tuple(self._intern(a) for a in pos_atoms),
+                    neg=tuple(self._intern(a) for a in neg_atoms),
+                )
+            )
+
+    def _ground_minimize(self, minimize: Minimize):
+        for element in minimize.elements:
+            for substitution, pos_atoms, neg_atoms in self._ground_body(
+                element.condition, self.possible
+            ):
+                weight = evaluate_term(element.weight, substitution)
+                priority = evaluate_term(element.priority, substitution)
+                if not isinstance(weight, int) or not isinstance(priority, int):
+                    raise GroundingError(
+                        f"minimize weight/priority must be integers: {element}"
+                    )
+                terms = tuple(evaluate_term(t, substitution) for t in element.terms)
+                self.ground_program.minimize_literals.append(
+                    GroundMinimizeLiteral(
+                        priority=priority,
+                        weight=weight,
+                        key=(priority, weight) + terms,
+                        pos=tuple(self._intern(a) for a in pos_atoms),
+                        neg=tuple(self._intern(a) for a in neg_atoms),
+                    )
+                )
+
+
+def _tarjan_sccs(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Iterative Tarjan SCC; components are returned dependencies-first."""
+    index_counter = [0]
+    stack: List[str] = []
+    lowlink: Dict[str, int] = {}
+    index: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    components: List[List[str]] = []
+
+    for start in graph:
+        if start in index:
+            continue
+        work = [(start, iter(sorted(graph.get(start, ()))))]
+        index[start] = lowlink[start] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph.get(successor, ())))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    # Tarjan emits components in reverse topological order of the condensation
+    # for edges "node -> successor"; since edges point head -> body, that means
+    # dependencies (bodies) come first, which is the grounding order we want.
+    return components
+
+
+def ground_program(program: Program, extra_facts: Sequence[tuple] = ()) -> GroundProgram:
+    """Convenience helper: ground ``program`` plus programmatic ``extra_facts``."""
+    return Grounder(program, extra_facts).ground()

@@ -1,0 +1,181 @@
+"""Tokenizer for the ASP input language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.asp.errors import ParseError
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+# Token kinds
+IDENTIFIER = "IDENTIFIER"  # lowercase identifier (predicate / constant)
+VARIABLE = "VARIABLE"  # Capitalised identifier or "_"
+NUMBER = "NUMBER"
+STRING = "STRING"
+DIRECTIVE = "DIRECTIVE"  # "#minimize", "#maximize", "#const", ...
+PUNCT = "PUNCT"
+END = "END"
+
+_PUNCTUATION = (
+    ":-",
+    "!=",
+    "<=",
+    ">=",
+    "==",
+    ".",
+    ",",
+    ";",
+    ":",
+    "(",
+    ")",
+    "{",
+    "}",
+    "@",
+    "+",
+    "-",
+    "*",
+    "/",
+    "=",
+    "<",
+    ">",
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ASP source text into a list of tokens (ending with END)."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def error(message):
+        raise ParseError(message, line=line, column=column)
+
+    while i < n:
+        ch = text[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        # comments: '%' to end of line (but not '%*' block comments, which we
+        # also accept for completeness)
+        if ch == "%":
+            if i + 1 < n and text[i + 1] == "*":
+                end = text.find("*%", i + 2)
+                if end == -1:
+                    error("unterminated block comment")
+                skipped = text[i : end + 2]
+                line += skipped.count("\n")
+                i = end + 2
+                column = 1
+                continue
+            end = text.find("\n", i)
+            if end == -1:
+                break
+            i = end
+            continue
+        # strings
+        if ch == '"':
+            j = i + 1
+            parts = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    parts.append(text[j + 1])
+                    j += 2
+                else:
+                    parts.append(text[j])
+                    j += 1
+            if j >= n:
+                error("unterminated string literal")
+            tokens.append(Token(STRING, "".join(parts), line, column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        # numbers
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        # directives
+        if ch == "#":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(DIRECTIVE, text[i:j], line, column))
+            column += j - i
+            i = j
+            continue
+        # identifiers and variables
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word == "not":
+                tokens.append(Token(PUNCT, "not", line, column))
+            elif word[0] == "_" or word[0].isupper():
+                tokens.append(Token(VARIABLE, word, line, column))
+            else:
+                tokens.append(Token(IDENTIFIER, word, line, column))
+            column += j - i
+            i = j
+            continue
+        # punctuation (longest match first)
+        matched = False
+        for punct in _PUNCTUATION:
+            if text.startswith(punct, i):
+                value = "=" if punct == "==" else punct
+                tokens.append(Token(PUNCT, value, line, column))
+                i += len(punct)
+                column += len(punct)
+                matched = True
+                break
+        if matched:
+            continue
+        error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(END, "", line, column))
+    return tokens
+
+
+def iter_statements(tokens: List[Token]) -> Iterator[List[Token]]:
+    """Split a token stream into statements terminated by '.'."""
+    current: List[Token] = []
+    for token in tokens:
+        if token.kind == END:
+            break
+        if token.kind == PUNCT and token.value == ".":
+            if current:
+                yield current
+                current = []
+            continue
+        current.append(token)
+    if current:
+        raise ParseError(
+            "unexpected end of input (missing '.')",
+            line=current[-1].line,
+            column=current[-1].column,
+        )

@@ -1,0 +1,371 @@
+"""Recursive-descent parser for the ASP input language.
+
+The accepted grammar (a practical subset of gringo's language)::
+
+    program     ::= statement*
+    statement   ::= rule | constraint | minimize
+    rule        ::= head [ ":-" body ] "."
+    constraint  ::= ":-" body "."
+    head        ::= atom | choice
+    choice      ::= [term] "{" choice_elem (";" choice_elem)* "}" [term]
+    choice_elem ::= atom [ ":" condition ]
+    body        ::= body_elem ((";" | ",") body_elem)*
+    body_elem   ::= literal [ ":" condition ] | comparison
+    condition   ::= cond_lit ("," cond_lit)*
+    cond_lit    ::= literal | comparison
+    literal     ::= ["not"] atom
+    comparison  ::= term op term        (op in =, !=, <, <=, >, >=)
+    minimize    ::= "#minimize" "{" min_elem (";" min_elem)* "}" "."
+    min_elem    ::= term ["@" term] ("," term)* [":" condition]
+
+Note the gringo convention for bodies: a ``,`` *after a conditional literal's
+condition has started* extends the condition; use ``;`` to separate the
+conditional literal from the next body element.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.asp.errors import ParseError
+from repro.asp.lexer import (
+    DIRECTIVE,
+    IDENTIFIER,
+    NUMBER,
+    PUNCT,
+    STRING,
+    VARIABLE,
+    Token,
+    iter_statements,
+    tokenize,
+)
+from repro.asp.syntax import (
+    Atom,
+    BinaryOp,
+    Choice,
+    ChoiceElement,
+    Comparison,
+    ConditionalLiteral,
+    Constant,
+    Literal,
+    Minimize,
+    MinimizeElement,
+    Number,
+    Program,
+    Rule,
+    String,
+    Variable,
+)
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _StatementParser:
+    """Parses a single statement from its token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def check(self, kind: str, value: Optional[str] = None, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        if token is None or token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            last = self.tokens[-1] if self.tokens else None
+            raise ParseError(
+                "unexpected end of statement",
+                line=last.line if last else None,
+                column=last.column if last else None,
+            )
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token is None or token.kind != kind or (value is not None and token.value != value):
+            expected = value if value is not None else kind
+            found = f"{token.kind} {token.value!r}" if token else "end of statement"
+            line = token.line if token else None
+            column = token.column if token else None
+            raise ParseError(f"expected {expected!r}, found {found}", line=line, column=column)
+        self.pos += 1
+        return token
+
+    def error(self, message: str):
+        token = self.peek()
+        line = token.line if token else None
+        column = token.column if token else None
+        raise ParseError(message, line=line, column=column)
+
+    # -- terms -------------------------------------------------------------
+
+    def parse_term(self):
+        return self._parse_additive()
+
+    def _parse_additive(self):
+        term = self._parse_multiplicative()
+        while self.check(PUNCT, "+") or self.check(PUNCT, "-"):
+            op = self.advance().value
+            right = self._parse_multiplicative()
+            term = BinaryOp(op, term, right)
+        return term
+
+    def _parse_multiplicative(self):
+        term = self._parse_primary()
+        while self.check(PUNCT, "*") or self.check(PUNCT, "/"):
+            op = self.advance().value
+            right = self._parse_primary()
+            term = BinaryOp(op, term, right)
+        return term
+
+    def _parse_primary(self):
+        token = self.peek()
+        if token is None:
+            self.error("expected a term")
+        if token.kind == NUMBER:
+            self.advance()
+            return Number(int(token.value))
+        if token.kind == STRING:
+            self.advance()
+            return String(token.value)
+        if token.kind == VARIABLE:
+            self.advance()
+            return Variable(token.value)
+        if token.kind == IDENTIFIER:
+            self.advance()
+            return Constant(token.value)
+        if token.kind == PUNCT and token.value == "-":
+            self.advance()
+            inner = self._parse_primary()
+            if isinstance(inner, Number):
+                return Number(-inner.value)
+            return BinaryOp("-", Number(0), inner)
+        if token.kind == PUNCT and token.value == "(":
+            self.advance()
+            term = self.parse_term()
+            self.expect(PUNCT, ")")
+            return term
+        self.error(f"expected a term, found {token.value!r}")
+
+    # -- atoms, literals, comparisons ---------------------------------------
+
+    def parse_atom(self) -> Atom:
+        name_token = self.expect(IDENTIFIER)
+        arguments: Tuple = ()
+        if self.check(PUNCT, "("):
+            self.advance()
+            args = [self.parse_term()]
+            while self.check(PUNCT, ","):
+                self.advance()
+                args.append(self.parse_term())
+            self.expect(PUNCT, ")")
+            arguments = tuple(args)
+        return Atom(name_token.value, arguments)
+
+    def _next_is_comparison_op(self, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return token is not None and token.kind == PUNCT and token.value in _COMPARISON_OPS
+
+    def parse_simple_literal(self) -> Union[Literal, Comparison]:
+        """Parse ``[not] atom`` or a comparison."""
+        if self.check(PUNCT, "not"):
+            self.advance()
+            atom = self.parse_atom()
+            return Literal(atom, negated=True)
+
+        token = self.peek()
+        if token is None:
+            self.error("expected a literal")
+
+        # An identifier may start either an atom or a comparison whose left
+        # side is a symbolic constant.
+        if token.kind == IDENTIFIER:
+            if self.check(PUNCT, "(", offset=1):
+                atom = self.parse_atom()
+                return Literal(atom)
+            if self._next_is_comparison_op(offset=1):
+                left = self.parse_term()
+                op = self.advance().value
+                right = self.parse_term()
+                return Comparison(op, left, right)
+            self.advance()
+            return Literal(Atom(token.value))
+
+        # Everything else (variables, numbers, strings, parens) must be the
+        # left-hand side of a comparison or an arithmetic comparison.
+        left = self.parse_term()
+        if not self._next_is_comparison_op():
+            self.error("expected a comparison operator")
+        op = self.advance().value
+        right = self.parse_term()
+        return Comparison(op, left, right)
+
+    def parse_condition(self) -> Tuple:
+        """Parse a ``,``-separated list of condition literals."""
+        condition = [self.parse_simple_literal()]
+        while self.check(PUNCT, ","):
+            self.advance()
+            condition.append(self.parse_simple_literal())
+        return tuple(condition)
+
+    # -- bodies --------------------------------------------------------------
+
+    def parse_body(self) -> Tuple:
+        elements = []
+        while True:
+            element = self.parse_simple_literal()
+            if self.check(PUNCT, ":"):
+                self.advance()
+                if not isinstance(element, Literal):
+                    self.error("only literals may have a condition")
+                condition = self.parse_condition()
+                elements.append(ConditionalLiteral(element, condition))
+                # after a conditional literal, only ';' continues the body
+                if self.check(PUNCT, ";"):
+                    self.advance()
+                    continue
+                break
+            elements.append(element)
+            if self.check(PUNCT, ",") or self.check(PUNCT, ";"):
+                self.advance()
+                continue
+            break
+        if not self.at_end():
+            self.error("unexpected trailing tokens in body")
+        return tuple(elements)
+
+    # -- heads ----------------------------------------------------------------
+
+    def _head_contains_choice(self) -> bool:
+        depth = 0
+        for offset in range(len(self.tokens) - self.pos):
+            token = self.peek(offset)
+            if token.kind != PUNCT:
+                continue
+            if token.value == "(":
+                depth += 1
+            elif token.value == ")":
+                depth -= 1
+            elif token.value == ":-" and depth == 0:
+                return False
+            elif token.value == "{" and depth == 0:
+                return True
+        return False
+
+    def parse_choice(self) -> Choice:
+        lower = None
+        if not self.check(PUNCT, "{"):
+            lower = self.parse_term()
+        self.expect(PUNCT, "{")
+        elements = []
+        if not self.check(PUNCT, "}"):
+            elements.append(self._parse_choice_element())
+            while self.check(PUNCT, ";"):
+                self.advance()
+                elements.append(self._parse_choice_element())
+        self.expect(PUNCT, "}")
+        upper = None
+        if not self.at_end() and not self.check(PUNCT, ":-"):
+            upper = self.parse_term()
+        return Choice(tuple(elements), lower=lower, upper=upper)
+
+    def _parse_choice_element(self) -> ChoiceElement:
+        atom = self.parse_atom()
+        condition: Tuple = ()
+        if self.check(PUNCT, ":"):
+            self.advance()
+            condition = self.parse_condition()
+        return ChoiceElement(atom, condition)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_statement(self) -> Union[Rule, Minimize]:
+        if self.check(DIRECTIVE):
+            return self.parse_minimize()
+        if self.check(PUNCT, ":-"):
+            self.advance()
+            body = self.parse_body()
+            return Rule(head=None, body=body)
+
+        if self._head_contains_choice():
+            head: Union[Atom, Choice] = self.parse_choice()
+        else:
+            head = self.parse_atom()
+
+        body: Tuple = ()
+        if self.check(PUNCT, ":-"):
+            self.advance()
+            body = self.parse_body()
+        if not self.at_end():
+            self.error("unexpected trailing tokens")
+        return Rule(head=head, body=body)
+
+    def parse_minimize(self) -> Minimize:
+        directive = self.expect(DIRECTIVE)
+        if directive.value not in ("#minimize", "#maximize"):
+            self.error(f"unsupported directive {directive.value!r}")
+        maximize = directive.value == "#maximize"
+        self.expect(PUNCT, "{")
+        elements = []
+        if not self.check(PUNCT, "}"):
+            elements.append(self._parse_minimize_element(maximize))
+            while self.check(PUNCT, ";"):
+                self.advance()
+                elements.append(self._parse_minimize_element(maximize))
+        self.expect(PUNCT, "}")
+        if not self.at_end():
+            self.error("unexpected trailing tokens after '}'")
+        return Minimize(tuple(elements))
+
+    def _parse_minimize_element(self, maximize: bool) -> MinimizeElement:
+        weight = self.parse_term()
+        if maximize:
+            weight = BinaryOp("-", Number(0), weight)
+        priority = Number(0)
+        if self.check(PUNCT, "@"):
+            self.advance()
+            priority = self.parse_term()
+        terms = []
+        while self.check(PUNCT, ","):
+            self.advance()
+            terms.append(self.parse_term())
+        condition: Tuple = ()
+        if self.check(PUNCT, ":"):
+            self.advance()
+            condition = self.parse_condition()
+        return MinimizeElement(weight, priority, tuple(terms), condition)
+
+
+def parse_program(text: str) -> Program:
+    """Parse ASP source text into a :class:`Program`."""
+    program = Program()
+    tokens = tokenize(text)
+    for statement_tokens in iter_statements(tokens):
+        parser = _StatementParser(statement_tokens)
+        program.add(parser.parse_statement())
+    return program
+
+
+def parse_statement(text: str) -> Union[Rule, Minimize]:
+    """Parse a single statement (mostly useful in tests)."""
+    program = parse_program(text)
+    statements = program.statements()
+    if len(statements) != 1:
+        raise ParseError(f"expected exactly one statement, got {len(statements)}")
+    return statements[0]

@@ -1,0 +1,93 @@
+"""Timing utilities mirroring the paper's per-phase measurement.
+
+The paper instruments the concretizer into four phases (Section VII):
+
+* **setup** — generating the facts for a given spec (done by the Spack layer),
+* **load**  — loading/parsing the logic program,
+* **ground** — grounding the logic program against the facts,
+* **solve** — the actual search plus optimization.
+
+:class:`PhaseTimer` accumulates wall-clock durations per named phase and is
+shared between :class:`repro.asp.control.Control` and the concretizer.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+PHASES = ("setup", "load", "ground", "solve")
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase."""
+
+    def __init__(self):
+        self._durations: Dict[str, float] = {}
+        self._starts: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager measuring one phase (durations accumulate)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._durations[name] = self._durations.get(name, 0.0) + elapsed
+
+    def start(self, name: str):
+        self._starts[name] = time.perf_counter()
+
+    def stop(self, name: str):
+        start = self._starts.pop(name, None)
+        if start is None:
+            return
+        elapsed = time.perf_counter() - start
+        self._durations[name] = self._durations.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float):
+        self._durations[name] = self._durations.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self._durations.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._durations.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        result = {name: self._durations.get(name, 0.0) for name in PHASES}
+        for name, value in self._durations.items():
+            result[name] = value
+        result["total"] = self.total
+        return result
+
+    def merge(self, other: "PhaseTimer") -> "PhaseTimer":
+        merged = PhaseTimer()
+        for name, value in self._durations.items():
+            merged.add(name, value)
+        for name, value in other._durations.items():
+            merged.add(name, value)
+        return merged
+
+    def __repr__(self):
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self._durations.items()))
+        return f"PhaseTimer({parts})"
+
+
+class Timer:
+    """Simple one-shot timer (used by benchmarks and the original concretizer)."""
+
+    def __init__(self):
+        self.start_time: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start_time = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.elapsed = time.perf_counter() - self.start_time
+        return False

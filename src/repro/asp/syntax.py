@@ -1,0 +1,432 @@
+"""Abstract syntax tree for the ASP input language.
+
+The grammar supported here is a practical subset of gringo's language: it is
+what the paper's logic program (Section V) needs, plus a bit of headroom.
+
+Ground values
+-------------
+Once grounded, terms evaluate to plain Python values: ``int`` for numerals and
+``str`` for both quoted strings and symbolic constants.  Ground atoms are
+interned as tuples ``(predicate_name, arg1, arg2, ...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+# --------------------------------------------------------------------------
+# Terms
+# --------------------------------------------------------------------------
+
+GroundValue = Union[int, str]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A first-order variable (capitalised identifier, or ``_``)."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class Number:
+    """An integer constant."""
+
+    value: int
+
+    def __str__(self):
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class String:
+    """A quoted string constant, e.g. ``"hdf5"``."""
+
+    value: str
+
+    def __str__(self):
+        return '"%s"' % self.value
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A symbolic (lowercase) constant, e.g. ``true``."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """An arithmetic expression over terms, evaluated during grounding."""
+
+    op: str  # one of "+", "-", "*", "/"
+    left: "Term"
+    right: "Term"
+
+    def __str__(self):
+        return f"({self.left}{self.op}{self.right})"
+
+
+Term = Union[Variable, Number, String, Constant, BinaryOp]
+
+
+def term_variables(term: Term):
+    """Yield every :class:`Variable` occurring in ``term``."""
+    if isinstance(term, Variable):
+        if term.name != "_":
+            yield term
+    elif isinstance(term, BinaryOp):
+        yield from term_variables(term.left)
+        yield from term_variables(term.right)
+
+
+def term_is_ground(term: Term) -> bool:
+    """Return True if ``term`` contains no variables."""
+    if isinstance(term, Variable):
+        return False
+    if isinstance(term, BinaryOp):
+        return term_is_ground(term.left) and term_is_ground(term.right)
+    return True
+
+
+def evaluate_term(term: Term, substitution) -> GroundValue:
+    """Evaluate ``term`` under ``substitution`` (a dict Variable name -> value).
+
+    Raises ``KeyError`` if a variable is unbound and ``TypeError`` when
+    arithmetic is attempted on non-integers.
+    """
+    if isinstance(term, Number):
+        return term.value
+    if isinstance(term, String):
+        return term.value
+    if isinstance(term, Constant):
+        return term.name
+    if isinstance(term, Variable):
+        return substitution[term.name]
+    if isinstance(term, BinaryOp):
+        left = evaluate_term(term.left, substitution)
+        right = evaluate_term(term.right, substitution)
+        if not isinstance(left, int) or not isinstance(right, int):
+            raise TypeError(
+                f"arithmetic on non-integer terms: {left!r} {term.op} {right!r}"
+            )
+        if term.op == "+":
+            return left + right
+        if term.op == "-":
+            return left - right
+        if term.op == "*":
+            return left * right
+        if term.op == "/":
+            return left // right
+        raise ValueError(f"unknown operator {term.op!r}")
+    raise TypeError(f"not a term: {term!r}")
+
+
+def ground_value_to_term(value: GroundValue) -> Term:
+    """Convert a Python ground value back into a term (used for printing)."""
+    if isinstance(value, bool):
+        return Constant("true" if value else "false")
+    if isinstance(value, int):
+        return Number(value)
+    return String(value)
+
+
+def format_ground_value(value: GroundValue) -> str:
+    """Render a ground value the way it would appear in ASP source."""
+    if isinstance(value, int):
+        return str(value)
+    return '"%s"' % value
+
+
+# --------------------------------------------------------------------------
+# Atoms and literals
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``depends_on("hdf5", "mpi")``."""
+
+    name: str
+    arguments: Tuple[Term, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.arguments)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        return (self.name, len(self.arguments))
+
+    def variables(self):
+        for argument in self.arguments:
+            yield from term_variables(argument)
+
+    def is_ground(self) -> bool:
+        return all(term_is_ground(argument) for argument in self.arguments)
+
+    def ground(self, substitution) -> Tuple[GroundValue, ...]:
+        """Return the interned ground atom tuple under ``substitution``."""
+        return (self.name,) + tuple(
+            evaluate_term(argument, substitution) for argument in self.arguments
+        )
+
+    def __str__(self):
+        if not self.arguments:
+            return self.name
+        args = ",".join(str(argument) for argument in self.arguments)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom or its (default) negation inside a rule body."""
+
+    atom: Atom
+    negated: bool = False
+
+    def variables(self):
+        yield from self.atom.variables()
+
+    def __str__(self):
+        prefix = "not " if self.negated else ""
+        return prefix + str(self.atom)
+
+
+COMPARISON_OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A builtin comparison literal such as ``V1 != V2``.
+
+    Comparisons are evaluated during grounding: mixed int/str comparisons
+    order integers before strings (a total order, like clingo's term order).
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def variables(self):
+        yield from term_variables(self.left)
+        yield from term_variables(self.right)
+
+    def evaluate(self, substitution) -> bool:
+        left = evaluate_term(self.left, substitution)
+        right = evaluate_term(self.right, substitution)
+        return compare_ground_values(self.op, left, right)
+
+    def __str__(self):
+        return f"{self.left} {self.op} {self.right}"
+
+
+def _order_key(value: GroundValue):
+    # Total order across types: integers sort before strings, mirroring
+    # clingo's ordering of numerals before strings.
+    if isinstance(value, int):
+        return (0, value, "")
+    return (1, 0, value)
+
+
+def compare_ground_values(op: str, left: GroundValue, right: GroundValue) -> bool:
+    """Evaluate a comparison operator over two ground values."""
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    lk, rk = _order_key(left), _order_key(right)
+    if op == "<":
+        return lk < rk
+    if op == "<=":
+        return lk <= rk
+    if op == ">":
+        return lk > rk
+    if op == ">=":
+        return lk >= rk
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+@dataclass(frozen=True)
+class ConditionalLiteral:
+    """A conditional literal ``literal : cond_1, ..., cond_n``.
+
+    In a rule body this expands, at grounding time, to the *conjunction* of
+    all instances of ``literal`` for which the condition holds.  Conditions
+    must range over *domain* predicates (predicates fully determined by facts),
+    which is how the paper's generalized condition handling uses them.
+    """
+
+    literal: Literal
+    condition: Tuple[Union[Literal, Comparison], ...] = ()
+
+    def variables(self):
+        yield from self.literal.variables()
+        for item in self.condition:
+            yield from item.variables()
+
+    def __str__(self):
+        cond = ", ".join(str(c) for c in self.condition)
+        return f"{self.literal} : {cond}"
+
+
+BodyElement = Union[Literal, Comparison, ConditionalLiteral]
+
+
+# --------------------------------------------------------------------------
+# Heads: plain atoms and choices
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChoiceElement:
+    """One element of a choice head: ``atom : cond_1, ..., cond_n``."""
+
+    atom: Atom
+    condition: Tuple[Union[Literal, Comparison], ...] = ()
+
+    def __str__(self):
+        if not self.condition:
+            return str(self.atom)
+        cond = ", ".join(str(c) for c in self.condition)
+        return f"{self.atom} : {cond}"
+
+
+@dataclass(frozen=True)
+class Choice:
+    """A choice head ``L { e_1; ...; e_n } U`` with optional bounds."""
+
+    elements: Tuple[ChoiceElement, ...]
+    lower: Optional[Term] = None
+    upper: Optional[Term] = None
+
+    def __str__(self):
+        inner = "; ".join(str(e) for e in self.elements)
+        lower = f"{self.lower} " if self.lower is not None else ""
+        upper = f" {self.upper}" if self.upper is not None else ""
+        return f"{lower}{{ {inner} }}{upper}"
+
+
+Head = Union[Atom, Choice, None]
+
+
+# --------------------------------------------------------------------------
+# Rules and directives
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head :- body.``  ``head is None`` means integrity constraint."""
+
+    head: Head
+    body: Tuple[BodyElement, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return isinstance(self.head, Atom) and not self.body
+
+    @property
+    def is_constraint(self) -> bool:
+        return self.head is None
+
+    def __str__(self):
+        body = ", ".join(str(b) for b in self.body)
+        if self.head is None:
+            return f":- {body}."
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {body}."
+
+
+@dataclass(frozen=True)
+class MinimizeElement:
+    """One element of a ``#minimize`` statement.
+
+    ``weight@priority, t_1, ..., t_n : cond`` — the weight contributes to the
+    objective at the given priority level whenever the condition holds; the
+    tuple ``(priority, weight, terms)`` identifies the element (duplicates
+    count once, per clingo semantics).
+    """
+
+    weight: Term
+    priority: Term
+    terms: Tuple[Term, ...] = ()
+    condition: Tuple[Union[Literal, Comparison], ...] = ()
+
+    def __str__(self):
+        terms = "".join("," + str(t) for t in self.terms)
+        cond = ", ".join(str(c) for c in self.condition)
+        out = f"{self.weight}@{self.priority}{terms}"
+        if cond:
+            out += f" : {cond}"
+        return out
+
+
+@dataclass(frozen=True)
+class Minimize:
+    """A ``#minimize { ... }.`` statement."""
+
+    elements: Tuple[MinimizeElement, ...]
+
+    def __str__(self):
+        inner = "; ".join(str(e) for e in self.elements)
+        return f"#minimize {{ {inner} }}."
+
+
+Statement = Union[Rule, Minimize]
+
+
+@dataclass
+class Program:
+    """A parsed (non-ground) ASP program: rules plus minimize statements."""
+
+    rules: list = field(default_factory=list)
+    minimizes: list = field(default_factory=list)
+
+    def add(self, statement: Statement):
+        if isinstance(statement, Minimize):
+            self.minimizes.append(statement)
+        else:
+            self.rules.append(statement)
+
+    def extend(self, other: "Program"):
+        self.rules.extend(other.rules)
+        self.minimizes.extend(other.minimizes)
+
+    def statements(self) -> Sequence[Statement]:
+        return list(self.rules) + list(self.minimizes)
+
+    def __str__(self):
+        return "\n".join(str(s) for s in self.statements())
+
+
+# --------------------------------------------------------------------------
+# Helpers for building ground facts programmatically
+# --------------------------------------------------------------------------
+
+
+def fact(name: str, *args: GroundValue) -> Rule:
+    """Build a ground fact ``name(args...).`` from Python values."""
+    return Rule(head=Atom(name, tuple(ground_value_to_term(a) for a in args)))
+
+
+def ground_atom(name: str, *args: GroundValue) -> Tuple[GroundValue, ...]:
+    """Build an interned ground-atom tuple from Python values."""
+    return (name,) + tuple(int(a) if isinstance(a, bool) else a for a in args)
+
+
+def format_ground_atom(atom: Tuple[GroundValue, ...]) -> str:
+    """Render an interned ground atom as ASP text."""
+    name = atom[0]
+    if len(atom) == 1:
+        return str(name)
+    args = ",".join(format_ground_value(a) for a in atom[1:])
+    return f"{name}({args})"

@@ -1,0 +1,32 @@
+"""A Spack-like package-manager substrate.
+
+This subpackage models the parts of Spack the paper's concretizer needs:
+
+* :mod:`repro.spack.version` — versions, ranges, and ``@1.2:`` constraints;
+* :mod:`repro.spack.architecture` — microarchitecture targets, families,
+  operating systems, and platforms;
+* :mod:`repro.spack.compilers` — compilers, versions, and which targets each
+  can generate code for;
+* :mod:`repro.spack.spec` / :mod:`repro.spack.spec_parser` — the spec DAG
+  model and the sigil syntax of Table I;
+* :mod:`repro.spack.package` / :mod:`repro.spack.directives` — the package
+  DSL (Figure 2);
+* :mod:`repro.spack.repo` — package repositories and possible-dependency
+  expansion;
+* :mod:`repro.spack.store` — the installed-package database / buildcache;
+* :mod:`repro.spack.concretize` — the ASP-based concretizer (the paper's
+  contribution) and the original greedy concretizer (the baseline).
+"""
+
+from repro.spack.spec import Spec
+from repro.spack.spec_parser import parse_spec
+from repro.spack.version import Version, VersionList, VersionRange, ver
+
+__all__ = [
+    "Spec",
+    "Version",
+    "VersionList",
+    "VersionRange",
+    "parse_spec",
+    "ver",
+]

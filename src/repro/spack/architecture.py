@@ -1,0 +1,221 @@
+"""Microarchitecture targets, operating systems, and platforms.
+
+The paper's optimization criteria prefer specific microarchitecture targets
+(e.g. ``skylake`` with AVX-512) over generic ones (``x86_64``), constrained by
+what the chosen compiler can generate code for.  This module provides a small
+archspec-like model:
+
+* every :class:`Target` belongs to a *family* (``x86_64``, ``ppc64le``,
+  ``aarch64``) and has a *generation* index within the family;
+* newer/more specific targets get **lower weights** (more preferred);
+* :class:`Platform` bundles the host family, the available targets, the
+  available operating systems, and the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.spack.errors import SpackError
+
+
+@dataclass(frozen=True)
+class Target:
+    """One microarchitecture target."""
+
+    name: str
+    family: str
+    generation: int  # 0 = the generic family target; larger = newer/more featureful
+    features: Tuple[str, ...] = ()
+
+    def __str__(self):
+        return self.name
+
+
+# The known targets, roughly mirroring archspec's x86_64 / ppc64le / aarch64
+# families.  Order within a family matters: it defines the generation index.
+_TARGET_FAMILIES: Dict[str, List[Tuple[str, Tuple[str, ...]]]] = {
+    "x86_64": [
+        ("x86_64", ()),
+        ("core2", ("ssse3",)),
+        ("nehalem", ("sse4_2",)),
+        ("sandybridge", ("avx",)),
+        ("ivybridge", ("avx", "f16c")),
+        ("haswell", ("avx2",)),
+        ("broadwell", ("avx2", "adx")),
+        ("skylake", ("avx2", "clflushopt")),
+        ("skylake_avx512", ("avx512f",)),
+        ("cascadelake", ("avx512f", "avx512_vnni")),
+        ("icelake", ("avx512f", "avx512_vbmi2")),
+    ],
+    "ppc64le": [
+        ("ppc64le", ()),
+        ("power8le", ("vsx",)),
+        ("power9le", ("vsx", "darn")),
+    ],
+    "aarch64": [
+        ("aarch64", ()),
+        ("thunderx2", ("asimd",)),
+        ("a64fx", ("sve",)),
+        ("neoverse_n1", ("asimd", "lse")),
+        ("neoverse_v1", ("sve", "bf16")),
+    ],
+}
+
+
+class TargetRegistry:
+    """All known targets, indexed by name and by family."""
+
+    def __init__(self, families: Optional[Dict[str, List[Tuple[str, Tuple[str, ...]]]]] = None):
+        families = families or _TARGET_FAMILIES
+        self._targets: Dict[str, Target] = {}
+        self._families: Dict[str, List[Target]] = {}
+        for family, entries in families.items():
+            targets = []
+            for generation, (name, features) in enumerate(entries):
+                target = Target(name=name, family=family, generation=generation, features=features)
+                self._targets[name] = target
+                targets.append(target)
+            self._families[family] = targets
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._targets
+
+    def get(self, name: str) -> Target:
+        try:
+            return self._targets[name]
+        except KeyError:
+            raise SpackError(f"unknown target: {name!r}") from None
+
+    def family(self, family: str) -> List[Target]:
+        try:
+            return list(self._families[family])
+        except KeyError:
+            raise SpackError(f"unknown target family: {family!r}") from None
+
+    def families(self) -> List[str]:
+        return list(self._families)
+
+    def all_targets(self) -> List[Target]:
+        return list(self._targets.values())
+
+    def is_family(self, name: str) -> bool:
+        return name in self._families
+
+    def weights_for(self, family: str, best: Optional[str] = None) -> Dict[str, int]:
+        """Weights for the targets of one family: 0 = most preferred.
+
+        ``best`` is the newest target supported by the host (the platform's
+        default); anything newer than the host cannot run and is excluded.
+        """
+        targets = self.family(family)
+        if best is not None:
+            best_generation = self.get(best).generation
+            targets = [t for t in targets if t.generation <= best_generation]
+        ordered = sorted(targets, key=lambda t: -t.generation)
+        return {target.name: weight for weight, target in enumerate(ordered)}
+
+
+TARGETS = TargetRegistry()
+
+
+@dataclass(frozen=True)
+class OperatingSystem:
+    """An operating system release, e.g. ``rhel7`` or ``ubuntu20.04``."""
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+
+KNOWN_OPERATING_SYSTEMS = (
+    "rhel7",
+    "rhel8",
+    "centos7",
+    "centos8",
+    "ubuntu18.04",
+    "ubuntu20.04",
+    "ubuntu22.04",
+)
+
+
+@dataclass
+class Platform:
+    """The host machine: family, best target, available OSs, defaults.
+
+    The two evaluation machines in the paper map naturally onto platforms::
+
+        quartz = Platform("linux", family="x86_64", default_target="broadwell",
+                          default_os="rhel7")
+        lassen = Platform("linux", family="ppc64le", default_target="power9le",
+                          default_os="rhel7")
+    """
+
+    name: str = "linux"
+    family: str = "x86_64"
+    default_target: str = "skylake"
+    default_os: str = "rhel7"
+    operating_systems: Tuple[str, ...] = KNOWN_OPERATING_SYSTEMS
+    registry: TargetRegistry = field(default_factory=lambda: TARGETS)
+
+    def __post_init__(self):
+        if self.default_target not in self.registry:
+            raise SpackError(f"unknown default target {self.default_target!r}")
+        if self.registry.get(self.default_target).family != self.family:
+            raise SpackError(
+                f"default target {self.default_target!r} is not in family {self.family!r}"
+            )
+        if self.default_os not in self.operating_systems:
+            raise SpackError(f"default OS {self.default_os!r} not in {self.operating_systems}")
+
+    # -- targets ------------------------------------------------------------------
+
+    def targets(self) -> List[Target]:
+        """Targets this platform can execute (host family, up to the default)."""
+        best_generation = self.registry.get(self.default_target).generation
+        return [
+            target
+            for target in self.registry.family(self.family)
+            if target.generation <= best_generation
+        ]
+
+    def target_weights(self) -> Dict[str, int]:
+        """0 = most preferred (the platform's best target)."""
+        return self.registry.weights_for(self.family, best=self.default_target)
+
+    def generic_target(self) -> Target:
+        return self.registry.family(self.family)[0]
+
+    # -- operating systems ----------------------------------------------------------
+
+    def os_weights(self) -> Dict[str, int]:
+        """0 for the default OS, increasing for the others."""
+        weights = {self.default_os: 0}
+        weight = 1
+        for name in self.operating_systems:
+            if name not in weights:
+                weights[name] = weight
+                weight += 1
+        return weights
+
+
+def default_platform() -> Platform:
+    """An x86_64 'Quartz-like' platform used throughout tests and examples."""
+    return Platform(
+        name="linux",
+        family="x86_64",
+        default_target="skylake",
+        default_os="rhel7",
+    )
+
+
+def lassen_platform() -> Platform:
+    """A ppc64le 'Lassen-like' platform (Power9 + rhel7)."""
+    return Platform(
+        name="linux",
+        family="ppc64le",
+        default_target="power9le",
+        default_os="rhel7",
+    )

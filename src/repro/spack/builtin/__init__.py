@@ -1,0 +1,71 @@
+"""The builtin package repository: an E4S-style catalog.
+
+The packages here model (a representative subset of) the Extreme-scale
+Scientific Software Stack the paper evaluates on: the virtual MPI/BLAS/LAPACK
+ecosystem, the build-tool tangle (cmake, python, perl, autotools), math
+libraries, I/O libraries, performance tools, GPU runtimes, and a set of
+application roots.  Metadata (versions, variants, conditional dependencies,
+conflicts, virtual providers) approximates the real Spack recipes closely
+enough to reproduce the paper's qualitative behaviour:
+
+* packages that can reach ``mpi`` drag in hundreds of possible dependencies
+  (the two-cluster structure of Figures 7a–7c);
+* conditional dependencies such as ``hpctoolkit``'s ``depends_on('mpi',
+  when='+mpi')`` reproduce the Section VI-B usability cases;
+* ``berkeleygw`` reproduces the provider-specialization case;
+* ``mpilander`` (an MPI provider that needs cmake) creates the circular
+  *possible* dependencies discussed in Section VII-B.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import List, Type
+
+from repro.spack.package import PackageBase
+from repro.spack.repo import Repository
+
+
+def _module_packages(module) -> List[Type[PackageBase]]:
+    classes = []
+    for _, obj in sorted(vars(module).items()):
+        if (
+            inspect.isclass(obj)
+            and issubclass(obj, PackageBase)
+            and obj.__module__ == module.__name__
+        ):
+            classes.append(obj)
+    return classes
+
+
+def all_package_classes() -> List[Type[PackageBase]]:
+    """Every package class in the builtin catalog."""
+    from repro.spack.builtin import (
+        apps,
+        core,
+        io_libs,
+        math_libs,
+        mpi_stack,
+        python_stack,
+        runtimes,
+        tools,
+    )
+
+    classes: List[Type[PackageBase]] = []
+    for module in (core, python_stack, mpi_stack, math_libs, io_libs, runtimes, tools, apps):
+        classes.extend(_module_packages(module))
+    return classes
+
+
+def build_repository(name: str = "builtin") -> Repository:
+    """Construct a fresh :class:`Repository` with the whole builtin catalog."""
+    repo = Repository(name=name, packages=all_package_classes())
+    # Provider preferences (user configuration in real Spack): these drive the
+    # "non-preferred providers" criteria (Table II, criteria 4 and 7).
+    repo.set_provider_preference("mpi", ["mpich", "openmpi", "mvapich2", "mpilander"])
+    repo.set_provider_preference("blas", ["openblas", "netlib-lapack"])
+    repo.set_provider_preference("lapack", ["openblas", "netlib-lapack"])
+    repo.set_provider_preference("scalapack", ["netlib-scalapack"])
+    repo.set_provider_preference("pkgconfig", ["pkgconf"])
+    repo.set_provider_preference("fftw-api", ["fftw"])
+    return repo

@@ -1,0 +1,321 @@
+"""Application-level packages and E4S product roots (mfem, amrex, warpx, ...)."""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, CMakePackage, MakefilePackage, Package
+
+
+class Mfem(MakefilePackage):
+    """Lightweight, scalable C++ finite element library."""
+
+    version("4.5.2")
+    version("4.5.0")
+    version("4.4.0")
+
+    variant("mpi", default=True, description="Parallel build with MPI")
+    variant("openmp", default=False, description="OpenMP parallelism")
+    variant("cuda", default=False, description="CUDA support")
+    variant("petsc", default=False, description="PETSc integration")
+    variant("sundials", default=False, description="SUNDIALS integration")
+    variant("zlib", default=True, description="Compressed data streams")
+
+    depends_on("mpi", when="+mpi")
+    depends_on("hypre", when="+mpi")
+    depends_on("metis", when="+mpi")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("petsc+mpi", when="+petsc+mpi")
+    depends_on("sundials+mpi", when="+sundials+mpi")
+    depends_on("cuda", when="+cuda")
+    depends_on("zlib", when="+zlib")
+    conflicts("+petsc", when="~mpi", msg="PETSc integration needs MPI")
+
+
+class Amrex(CMakePackage):
+    """Block-structured adaptive mesh refinement framework."""
+
+    version("23.05")
+    version("23.01")
+    version("22.11")
+
+    variant("mpi", default=True, description="MPI parallelism")
+    variant("openmp", default=False, description="OpenMP parallelism")
+    variant("cuda", default=False, description="CUDA support")
+    variant("fortran", default=False, description="Fortran interfaces")
+    variant("linear_solvers", default=True, description="Build linear solvers")
+    variant("hdf5", default=False, description="HDF5 plotfiles")
+    depends_on("mpi", when="+mpi")
+    depends_on("cuda@11:", when="+cuda")
+    depends_on("hdf5+mpi", when="+hdf5+mpi")
+    conflicts("%gcc@:7", when="@23:", msg="AMReX requires C++17")
+
+
+class Warpx(CMakePackage):
+    """Advanced electromagnetic particle-in-cell code (ECP app)."""
+
+    version("23.05")
+    version("23.01")
+
+    variant("mpi", default=True, description="MPI parallelism")
+    variant("openpmd", default=True, description="openPMD I/O")
+    variant("dims", default="3", values=("1", "2", "3", "rz"), description="Dimensionality")
+    variant("compute", default="omp", values=("omp", "cuda", "hip", "noacc"), description="Compute backend")
+    depends_on("amrex")
+    depends_on("mpi", when="+mpi")
+    depends_on("openpmd-api", when="+openpmd")
+    depends_on("cuda", when="compute=cuda")
+    depends_on("hip", when="compute=hip")
+    depends_on("fftw-api", when="compute=omp")
+    depends_on("boost")
+
+
+class OpenpmdApi(CMakePackage):
+    """C++ & Python API for openPMD-standard particle and mesh data."""
+
+    name = "openpmd-api"
+
+    version("0.15.1")
+    version("0.14.5")
+
+    variant("mpi", default=True, description="Parallel I/O")
+    variant("python", default=False, description="Python bindings")
+    depends_on("adios2+mpi", when="+mpi")
+    depends_on("adios2", when="~mpi")
+    depends_on("hdf5+mpi", when="+mpi")
+    depends_on("hdf5", when="~mpi")
+    depends_on("mpi", when="+mpi")
+    depends_on("nlohmann-json")
+    depends_on("python", when="+python")
+    depends_on("py-numpy", when="+python")
+    depends_on("py-pybind11", when="+python", type="build")
+
+
+class Ascent(CMakePackage):
+    """In-situ visualization and analysis for simulation codes."""
+
+    version("0.9.1")
+    version("0.8.0")
+
+    variant("mpi", default=True, description="MPI support")
+    variant("vtkh", default=True, description="VTK-h pipelines")
+    variant("cuda", default=False, description="CUDA support")
+    variant("python", default=False, description="Python filters")
+    depends_on("conduit")
+    depends_on("mpi", when="+mpi")
+    depends_on("vtk-m", when="+vtkh")
+    depends_on("cuda", when="+cuda")
+    depends_on("python", when="+python")
+    depends_on("py-numpy", when="+python")
+
+
+class VtkM(CMakePackage):
+    """Scientific visualization toolkit for many-core architectures."""
+
+    name = "vtk-m"
+
+    version("2.0.0")
+    version("1.9.0")
+
+    variant("cuda", default=False, description="CUDA backend")
+    variant("openmp", default=True, description="OpenMP backend")
+    variant("rendering", default=True, description="Build rendering support")
+    depends_on("cuda", when="+cuda")
+    conflicts("+cuda", when="%intel", msg="VTK-m CUDA builds need gcc or clang hosts")
+
+
+class Berkeleygw(MakefilePackage):
+    """Many-body perturbation theory GW/BSE code.
+
+    The paper's Section VI-B.3 example: when berkeleygw is built with OpenMP
+    and openblas is the chosen lapack provider, openblas must be built with
+    ``threads=openmp``.
+    """
+
+    version("3.0.1")
+    version("2.1")
+
+    variant("openmp", default=True, description="Build with OpenMP")
+    variant("scalapack", default=True, description="Use ScaLAPACK")
+    variant("hdf5", default=True, description="HDF5 I/O")
+
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("mpi")
+    depends_on("openblas threads=openmp", when="+openmp ^openblas")
+    depends_on("netlib-scalapack", when="+scalapack")
+    depends_on("hdf5+fortran+mpi", when="+hdf5")
+    depends_on("fftw-api")
+    depends_on("perl", type="build")
+
+
+class Alquimia(CMakePackage):
+    """Biogeochemistry API and wrapper library."""
+
+    version("1.0.10")
+    version("1.0.9")
+    depends_on("mpi")
+    depends_on("hdf5+mpi")
+    depends_on("petsc+mpi")
+    depends_on("pflotran")
+
+
+class Pflotran(AutotoolsPackage):
+    """Massively parallel reactive flow and transport code."""
+
+    version("4.0.1")
+    version("3.0.2")
+    depends_on("mpi")
+    depends_on("hdf5+mpi+fortran")
+    depends_on("petsc+mpi")
+
+
+class Omega_h(CMakePackage):
+    """Reliable mesh adaptation on simplices."""
+
+    name = "omega-h"
+
+    version("10.1.0")
+    version("9.34.13")
+    variant("mpi", default=True, description="MPI support")
+    variant("kokkos", default=False, description="Use Kokkos")
+    depends_on("mpi", when="+mpi")
+    depends_on("kokkos", when="+kokkos")
+    depends_on("zlib")
+
+
+class Pumi(CMakePackage):
+    """Parallel unstructured mesh infrastructure."""
+
+    version("2.2.8")
+    version("2.2.7")
+    depends_on("mpi")
+    depends_on("zlib")
+
+
+class Precice(CMakePackage):
+    """Coupling library for partitioned multi-physics simulations."""
+
+    version("2.5.0")
+    version("2.4.0")
+    variant("mpi", default=True, description="MPI communication")
+    variant("petsc", default=True, description="PETSc-based RBF mapping")
+    variant("python", default=False, description="Python actions")
+    depends_on("boost@1.71:")
+    depends_on("eigen")
+    depends_on("libxml2")
+    depends_on("mpi", when="+mpi")
+    depends_on("petsc+mpi", when="+petsc+mpi")
+    depends_on("python", when="+python")
+    depends_on("py-numpy", when="+python")
+
+
+class Flecsi(CMakePackage):
+    """Compile-time configurable framework for multi-physics applications."""
+
+    version("2.2.0")
+    version("2.1.0")
+    variant("backend", default="mpi", values=("mpi", "legion", "hpx"), description="Distributed-memory backend")
+    depends_on("mpi")
+    depends_on("legion", when="backend=legion")
+    depends_on("hpx", when="backend=hpx")
+    depends_on("boost@1.70:")
+    depends_on("metis")
+    depends_on("parmetis")
+
+
+class Cabana(CMakePackage):
+    """Performance-portable particle algorithms library (Co-design center)."""
+
+    version("0.5.0")
+    version("0.4.0")
+    variant("mpi", default=True, description="MPI support")
+    variant("cuda", default=False, description="CUDA support")
+    depends_on("kokkos")
+    depends_on("kokkos+cuda", when="+cuda")
+    depends_on("mpi", when="+mpi")
+
+
+class Axom(CMakePackage):
+    """CS infrastructure components for HPC applications (LLNL)."""
+
+    version("0.7.0")
+    version("0.6.1")
+    variant("mpi", default=True, description="MPI support")
+    variant("openmp", default=True, description="OpenMP support")
+    variant("cuda", default=False, description="CUDA support")
+    depends_on("mpi", when="+mpi")
+    depends_on("conduit")
+    depends_on("umpire")
+    depends_on("raja")
+    depends_on("hdf5")
+    depends_on("cuda", when="+cuda")
+
+
+class Exawind(CMakePackage):
+    """ExaWind wind-farm simulation suite root package."""
+
+    version("1.0.0")
+    depends_on("trilinos+mpi")
+    depends_on("hypre+mpi")
+    depends_on("yaml-cpp")
+    depends_on("boost")
+    depends_on("mpi")
+
+
+class Nekbone(Package):
+    """Proxy app for the Nek5000 spectral-element solver."""
+
+    version("17.0")
+    version("3.1")
+    depends_on("mpi")
+    depends_on("blas")
+
+
+class Laghos(MakefilePackage):
+    """High-order Lagrangian hydrodynamics miniapp built on MFEM."""
+
+    version("3.1")
+    version("3.0")
+    depends_on("mfem+mpi")
+    depends_on("mpi")
+
+
+class Examinimd(CMakePackage):
+    """ExaMiniMD molecular dynamics proxy app."""
+
+    version("1.0")
+    depends_on("kokkos")
+    depends_on("mpi")
+
+
+class Swig4hpc(Package):
+    """Placeholder root exercising the toolchain (swig + python + numpy)."""
+
+    name = "swig4hpc"
+
+    version("1.0")
+    depends_on("swig")
+    depends_on("python")
+    depends_on("py-numpy")
+
+
+class E4sProxyApps(Package):
+    """A meta-package root that pulls a representative slice of E4S."""
+
+    name = "e4s-proxy-apps"
+
+    version("23.05")
+    version("22.11")
+    depends_on("laghos")
+    depends_on("nekbone")
+    depends_on("examinimd")
+    depends_on("amrex")
+    depends_on("miniqmc")
+
+
+class Miniqmc(CMakePackage):
+    """Simplified QMCPACK miniapp."""
+
+    version("0.4.0")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("mpi")

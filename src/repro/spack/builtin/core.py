@@ -1,0 +1,706 @@
+"""Core system libraries and build tools.
+
+These are the low-level packages almost everything else depends on.  Keeping
+the metadata realistic matters: the build-tool tangle (cmake -> curl ->
+openssl -> perl -> gdbm -> ...) is what makes "possible dependency" counts so
+much larger than actual dependency counts in the paper's Figure 7 discussion.
+"""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, CMakePackage, MakefilePackage, Package
+
+
+class Zlib(Package):
+    """The ubiquitous compression library."""
+
+    version("1.2.13")
+    version("1.2.12")
+    version("1.2.11")
+    version("1.2.8")
+
+    variant("pic", default=True, description="Build position-independent code")
+    variant("shared", default=True, description="Build shared libraries")
+
+
+class Bzip2(Package):
+    """High-quality block-sorting file compressor."""
+
+    version("1.0.8")
+    version("1.0.7")
+    version("1.0.6", deprecated=True)
+
+    variant("pic", default=True, description="Build position-independent code")
+    variant("shared", default=True, description="Build shared libraries")
+    depends_on("diffutils", type="build")
+
+
+class Xz(AutotoolsPackage):
+    """LZMA compression utilities."""
+
+    version("5.4.1")
+    version("5.2.7")
+    version("5.2.5")
+
+    variant("pic", default=False, description="Build position-independent code")
+
+
+class Zstd(MakefilePackage):
+    """Fast real-time compression algorithm."""
+
+    version("1.5.5")
+    version("1.5.2")
+    version("1.4.9")
+
+    variant("programs", default=False, description="Build executables")
+    depends_on("zlib", when="+programs")
+    depends_on("xz", when="+programs")
+
+
+class Lz4(MakefilePackage):
+    """Extremely fast compression algorithm."""
+
+    version("1.9.4")
+    version("1.9.3")
+
+
+class Snappy(CMakePackage):
+    """Fast compressor/decompressor from Google."""
+
+    version("1.1.10")
+    version("1.1.9")
+    variant("shared", default=True, description="Build shared libraries")
+
+
+class CBlosc(CMakePackage):
+    """A blocking, shuffling and lossless compression library."""
+
+    version("1.21.4")
+    version("1.21.2")
+    depends_on("lz4")
+    depends_on("snappy")
+    depends_on("zlib")
+    depends_on("zstd")
+
+
+class Pkgconf(AutotoolsPackage):
+    """Package compiler and linker metadata toolkit."""
+
+    version("1.9.5")
+    version("1.8.0")
+    version("1.7.4")
+    provides("pkgconfig")
+
+
+class Ncurses(AutotoolsPackage):
+    """Text-based user interface library."""
+
+    version("6.4")
+    version("6.3")
+    version("6.2")
+
+    variant("termlib", default=True, description="Build tinfo as a separate library")
+    variant("symlinks", default=False, description="Use symlinks for curses")
+    depends_on("pkgconfig", type="build")
+
+
+class Readline(AutotoolsPackage):
+    """Command-line editing library."""
+
+    version("8.2")
+    version("8.1.2")
+    depends_on("ncurses")
+
+
+class Gdbm(AutotoolsPackage):
+    """GNU database routines."""
+
+    version("1.23")
+    version("1.21")
+    depends_on("readline")
+
+
+class Sqlite(AutotoolsPackage):
+    """Self-contained SQL database engine."""
+
+    version("3.42.0")
+    version("3.40.1")
+    version("3.39.4")
+
+    variant("functions", default=False, description="Enable loadable extensions")
+    variant("fts", default=True, description="Full-text search support")
+    depends_on("readline")
+    depends_on("zlib")
+
+
+class Openssl(Package):
+    """Cryptography and SSL/TLS toolkit."""
+
+    version("3.1.0")
+    version("1.1.1t")
+    version("1.1.1k")
+    version("1.0.2u", deprecated=True)
+
+    variant("shared", default=True, description="Build shared libraries")
+    variant("docs", default=False, description="Install documentation")
+    depends_on("zlib")
+    depends_on("perl", type="build")
+
+
+class Curl(AutotoolsPackage):
+    """Command line tool and library for transferring data with URLs."""
+
+    version("8.1.2")
+    version("7.85.0")
+    version("7.76.1")
+
+    variant("tls", default="openssl", values=("openssl", "mbedtls"), description="TLS provider")
+    variant("nghttp2", default=False, description="HTTP/2 support")
+    variant("libssh2", default=False, description="scp/sftp support")
+    depends_on("openssl", when="tls=openssl")
+    depends_on("mbedtls", when="tls=mbedtls")
+    depends_on("libssh2", when="+libssh2")
+    depends_on("zlib")
+    depends_on("pkgconfig", type="build")
+
+
+class Mbedtls(MakefilePackage):
+    """Lightweight TLS library."""
+
+    version("3.3.0")
+    version("2.28.2")
+    variant("pic", default=True, description="Position independent code")
+
+
+class Libssh2(AutotoolsPackage):
+    """Client-side C library implementing the SSH2 protocol."""
+
+    version("1.10.0")
+    version("1.9.0")
+    depends_on("openssl")
+    depends_on("zlib")
+
+
+class Libiconv(AutotoolsPackage):
+    """GNU character set conversion library."""
+
+    version("1.17")
+    version("1.16")
+
+
+class Libxml2(AutotoolsPackage):
+    """XML parser library."""
+
+    version("2.10.3")
+    version("2.9.13")
+    version("2.9.12")
+
+    variant("python", default=False, description="Build Python bindings")
+    depends_on("libiconv")
+    depends_on("zlib")
+    depends_on("xz")
+    depends_on("python", when="+python")
+    depends_on("pkgconfig", type="build")
+
+
+class Expat(AutotoolsPackage):
+    """Stream-oriented XML parser library."""
+
+    version("2.5.0")
+    version("2.4.8")
+    depends_on("libbsd")
+
+
+class Libbsd(AutotoolsPackage):
+    """Utility functions from BSD systems."""
+
+    version("0.11.7")
+    version("0.11.6")
+    depends_on("libmd")
+
+
+class Libmd(AutotoolsPackage):
+    """Message digest functions from BSD systems."""
+
+    version("1.0.4")
+    version("1.0.3")
+
+
+class Libffi(AutotoolsPackage):
+    """Portable foreign function interface library."""
+
+    version("3.4.4")
+    version("3.4.2")
+    version("3.3")
+
+
+class Gettext(AutotoolsPackage):
+    """GNU internationalization utilities."""
+
+    version("0.21.1")
+    version("0.21")
+
+    variant("curses", default=True, description="Use ncurses")
+    variant("bzip2", default=True, description="Support bzip2 archives")
+    depends_on("ncurses", when="+curses")
+    depends_on("bzip2", when="+bzip2")
+    depends_on("libiconv")
+    depends_on("libxml2")
+    depends_on("tar", type="build")
+
+
+class Tar(AutotoolsPackage):
+    """GNU tape archiver."""
+
+    version("1.34")
+    version("1.32")
+    depends_on("libiconv")
+
+
+class Gmake(AutotoolsPackage):
+    """GNU make."""
+
+    version("4.4.1")
+    version("4.3")
+    variant("guile", default=False, description="Embed GNU Guile")
+
+
+class Gmp(AutotoolsPackage):
+    """GNU multiple precision arithmetic library."""
+
+    version("6.2.1")
+    version("6.1.2")
+    depends_on("m4", type="build")
+
+
+class Mpfr(AutotoolsPackage):
+    """Multiple-precision floating-point computations with correct rounding."""
+
+    version("4.2.0")
+    version("4.1.0")
+    depends_on("gmp@6.1.0:")
+
+
+class M4(AutotoolsPackage):
+    """GNU macro processor."""
+
+    version("1.4.19")
+    version("1.4.18")
+    variant("sigsegv", default=True, description="Use libsigsegv")
+    depends_on("libsigsegv", when="+sigsegv")
+    depends_on("diffutils", type="build")
+
+
+class Libsigsegv(AutotoolsPackage):
+    """Page fault detection library."""
+
+    version("2.14")
+    version("2.13")
+
+
+class Diffutils(AutotoolsPackage):
+    """GNU diff utilities."""
+
+    version("3.9")
+    version("3.8")
+    depends_on("libiconv")
+
+
+class Findutils(AutotoolsPackage):
+    """GNU find utilities."""
+
+    version("4.9.0")
+    version("4.8.0")
+
+
+class Autoconf(AutotoolsPackage):
+    """GNU Autoconf."""
+
+    version("2.71")
+    version("2.69")
+    depends_on("m4@1.4.8:", type="build")
+    depends_on("perl", type="build")
+
+
+class Automake(AutotoolsPackage):
+    """GNU Automake."""
+
+    version("1.16.5")
+    version("1.16.3")
+    depends_on("autoconf", type="build")
+    depends_on("perl", type="build")
+
+
+class Libtool(AutotoolsPackage):
+    """GNU libtool."""
+
+    version("2.4.7")
+    version("2.4.6")
+    depends_on("m4@1.4.6:", type="build")
+    depends_on("autoconf", type="build")
+    depends_on("automake", type="build")
+
+
+class Perl(Package):
+    """Practical Extraction and Report Language."""
+
+    version("5.36.0")
+    version("5.34.1")
+    version("5.32.1")
+
+    variant("threads", default=True, description="Build with threading support")
+    variant("shared", default=True, description="Build a shared libperl")
+    depends_on("gdbm")
+    depends_on("berkeley-db")
+    depends_on("zlib")
+    depends_on("bzip2")
+
+
+class BerkeleyDb(AutotoolsPackage):
+    """Oracle Berkeley DB."""
+
+    version("18.1.40")
+    version("18.1.32")
+    variant("cxx", default=True, description="Build C++ API")
+
+
+class Bison(AutotoolsPackage):
+    """General-purpose parser generator."""
+
+    version("3.8.2")
+    version("3.7.6")
+    depends_on("m4", type="build")
+    depends_on("perl", type="build")
+    depends_on("diffutils", type="build")
+
+
+class Flex(AutotoolsPackage):
+    """Fast lexical analyzer generator."""
+
+    version("2.6.4")
+    version("2.6.3")
+    variant("lex", default=True, description="Provide lex symlink")
+    depends_on("bison", type="build")
+    depends_on("m4", type="build")
+    depends_on("findutils", type="build")
+
+
+class Cmake(Package):
+    """Cross-platform build system generator.
+
+    The build of cmake itself pulls in networking (curl/openssl) — the
+    paper's Section VI example of why "minimize builds" must not override the
+    defaults of packages that *are* built (cmake without openssl has no
+    networking).
+    """
+
+    version("3.26.3")
+    version("3.24.4")
+    version("3.23.3")
+    version("3.21.4")
+    version("3.21.1")
+
+    variant("ownlibs", default=True, description="Use CMake-provided third-party libraries")
+    variant("ncurses", default=True, description="Build the ccmake text UI")
+    variant("qt", default=False, description="Build the Qt-based GUI")
+    variant("debug_tools", default=False, description="Enable memory-debugging integration")
+    depends_on("openssl")
+    depends_on("curl", when="~ownlibs")
+    depends_on("zlib", when="~ownlibs")
+    depends_on("ncurses", when="+ncurses")
+    depends_on("valgrind", when="+debug_tools")
+
+
+class Ninja(Package):
+    """Small build system with a focus on speed."""
+
+    version("1.11.1")
+    version("1.10.2")
+    depends_on("python", type="build")
+
+
+class Meson(Package):
+    """High-productivity build system."""
+
+    version("1.1.0")
+    version("0.64.1")
+    depends_on("python@3.7:", type=("build", "run"))
+    depends_on("ninja", type="run")
+
+
+class Git(AutotoolsPackage):
+    """Distributed version control system."""
+
+    version("2.40.1")
+    version("2.39.3")
+    version("2.36.3")
+
+    variant("tcltk", default=False, description="Build gitk and git-gui")
+    depends_on("curl")
+    depends_on("expat")
+    depends_on("gettext")
+    depends_on("libiconv")
+    depends_on("openssl")
+    depends_on("pcre2")
+    depends_on("zlib")
+    depends_on("perl", type=("build", "run"))
+
+
+class Pcre2(AutotoolsPackage):
+    """Perl-compatible regular expressions (revised API)."""
+
+    version("10.42")
+    version("10.39")
+    variant("jit", default=False, description="Enable JIT support")
+
+
+class UtilLinuxUuid(AutotoolsPackage):
+    """Just the libuuid piece of util-linux."""
+
+    version("2.38.1")
+    version("2.37.4")
+    depends_on("pkgconfig", type="build")
+
+
+class Libunwind(AutotoolsPackage):
+    """Call-chain determination library."""
+
+    version("1.6.2")
+    version("1.5.0")
+    variant("xz", default=False, description="Support xz-compressed symbol tables")
+    depends_on("xz", when="+xz")
+
+
+class Boost(Package):
+    """Peer-reviewed portable C++ source libraries."""
+
+    version("1.82.0")
+    version("1.80.0")
+    version("1.79.0")
+    version("1.76.0")
+
+    variant("shared", default=True, description="Build shared libraries")
+    variant("multithreaded", default=True, description="Build multi-threaded variants")
+    variant("python", default=False, description="Build Boost.Python")
+    variant("mpi", default=False, description="Build Boost.MPI")
+    depends_on("bzip2")
+    depends_on("zlib")
+    depends_on("zstd")
+    depends_on("xz")
+    depends_on("python", when="+python")
+    depends_on("mpi", when="+mpi")
+    conflicts("%intel", when="@1.80.0:", msg="newer Boost is not tested with classic Intel")
+
+
+class Hwloc(AutotoolsPackage):
+    """Portable hardware locality abstraction."""
+
+    version("2.9.1")
+    version("2.8.0")
+    version("2.7.1")
+
+    variant("libxml2", default=True, description="Use libxml2 for XML topology export")
+    variant("pci", default=True, description="PCI device discovery")
+    variant("cuda", default=False, description="CUDA device discovery")
+    depends_on("libxml2", when="+libxml2")
+    depends_on("libpciaccess", when="+pci")
+    depends_on("cuda", when="+cuda")
+    depends_on("ncurses")
+    depends_on("pkgconfig", type="build")
+
+
+class Libpciaccess(AutotoolsPackage):
+    """Generic PCI access library."""
+
+    version("0.17")
+    version("0.16")
+    depends_on("libtool", type="build")
+    depends_on("util-macros", type="build")
+
+
+class UtilMacros(AutotoolsPackage):
+    """X.Org autotools macros."""
+
+    version("1.20.0")
+    version("1.19.3")
+
+
+class Numactl(AutotoolsPackage):
+    """NUMA support utilities and library."""
+
+    version("2.0.16")
+    version("2.0.14")
+    depends_on("autoconf", type="build")
+    depends_on("automake", type="build")
+    depends_on("libtool", type="build")
+
+
+class Libevent(AutotoolsPackage):
+    """Event notification library."""
+
+    version("2.1.12")
+    version("2.1.11")
+    variant("openssl", default=True, description="Build with OpenSSL support")
+    depends_on("openssl", when="+openssl")
+
+
+class Libedit(AutotoolsPackage):
+    """BSD line-editing library."""
+
+    version("3.1-20210216")
+    version("3.1-20191231")
+    depends_on("ncurses")
+
+
+class Libyaml(AutotoolsPackage):
+    """YAML parser and emitter in C."""
+
+    version("0.2.5")
+    version("0.2.2")
+
+
+class YamlCpp(CMakePackage):
+    """YAML parser and emitter in C++."""
+
+    version("0.7.0")
+    version("0.6.3")
+    variant("shared", default=True, description="Build shared libraries")
+
+
+class NlohmannJson(CMakePackage):
+    """JSON for modern C++."""
+
+    version("3.11.2")
+    version("3.10.5")
+
+
+class Googletest(CMakePackage):
+    """Google's C++ test framework."""
+
+    version("1.13.0")
+    version("1.12.1")
+    variant("gmock", default=True, description="Build gmock")
+    variant("shared", default=True, description="Build shared libraries")
+
+
+class Valgrind(AutotoolsPackage):
+    """Instrumentation framework for dynamic analysis.
+
+    The optional MPI wrappers create a *possible* path back to ``mpi`` from
+    the build-tool world (cmake -> valgrind -> mpi), which is exactly the kind
+    of circular possible dependency Section VII-B describes.
+    """
+
+    version("3.20.0")
+    version("3.19.0")
+
+    variant("mpi", default=True, description="Build the MPI wrappers")
+    variant("boost", default=False, description="Build Boost-based tools")
+    depends_on("mpi", when="+mpi")
+    depends_on("boost", when="+boost")
+    depends_on("autoconf", type="build")
+    depends_on("automake", type="build")
+    depends_on("libtool", type="build")
+    conflicts("target=aarch64:", when="@:3.19.0", msg="old valgrind lacks complete ARM64 support")
+
+
+class Swig(AutotoolsPackage):
+    """Interface compiler connecting C/C++ with scripting languages."""
+
+    version("4.1.1")
+    version("4.0.2")
+    depends_on("pcre2")
+
+
+class Binutils(AutotoolsPackage):
+    """GNU binary utilities."""
+
+    version("2.40")
+    version("2.38")
+    version("2.36.1")
+
+    variant("gold", default=False, description="Build the gold linker")
+    variant("ld", default=False, description="Install ld as the default linker")
+    variant("plugins", default=True, description="Enable plugin support")
+    depends_on("zlib")
+    depends_on("gettext")
+    depends_on("flex", type="build")
+    depends_on("bison", type="build")
+
+
+class Libelf(AutotoolsPackage):
+    """ELF object file access library (legacy)."""
+
+    version("0.8.13")
+    version("0.8.12", deprecated=True)
+
+
+class Elfutils(AutotoolsPackage):
+    """Utilities and libraries to handle ELF objects."""
+
+    version("0.189")
+    version("0.186")
+    variant("bzip2", default=False, description="Support bzip2-compressed sections")
+    variant("debuginfod", default=False, description="Enable debuginfod client")
+    depends_on("bzip2", when="+bzip2")
+    depends_on("curl", when="+debuginfod")
+    depends_on("zlib")
+    depends_on("xz")
+    depends_on("m4", type="build")
+
+
+class Libdwarf(AutotoolsPackage):
+    """DWARF debugging information library."""
+
+    version("0.7.0")
+    version("20210528")
+    depends_on("libelf")
+    depends_on("zlib")
+
+
+class IntelTbb(CMakePackage):
+    """Intel Threading Building Blocks."""
+
+    version("2021.9.0")
+    version("2021.6.0")
+    version("2020.3")
+    variant("shared", default=True, description="Build shared libraries")
+    conflicts("target=ppc64le", when="@2021:", msg="oneTBB does not support ppc64le")
+
+
+class Libmonitor(AutotoolsPackage):
+    """Process/thread control callback library used by HPCToolkit."""
+
+    version("2023.03.15")
+    version("2021.11.08")
+
+
+class IntelXed(Package):
+    """x86 instruction encoder-decoder."""
+
+    version("2022.10.11")
+    version("2021.05.17")
+    depends_on("python", type="build")
+    conflicts("target=ppc64le", msg="xed is x86-only")
+    conflicts("target=aarch64:", msg="xed is x86-only")
+
+
+class Papi(AutotoolsPackage):
+    """Performance Application Programming Interface."""
+
+    version("7.0.1")
+    version("6.0.0.1")
+    version("5.7.0")
+
+    variant("cuda", default=False, description="Enable CUDA component")
+    variant("rocm", default=False, description="Enable ROCm component")
+    depends_on("cuda", when="+cuda")
+    depends_on("hsa-rocr-dev", when="+rocm")
+    depends_on("pkgconfig", type="build")
+
+
+class Gotcha(CMakePackage):
+    """Library for wrapping function calls in shared libraries."""
+
+    version("1.0.4")
+    version("1.0.3")
+    variant("test", default=False, description="Build tests")

@@ -1,0 +1,366 @@
+"""I/O libraries: HDF5, NetCDF, ADIOS2, and the checkpoint/restart stack."""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, CMakePackage, Package
+
+
+class Hdf5(CMakePackage):
+    """HDF5: a data model, library, and file format for storing and managing data.
+
+    This is the running example of the paper (Figures 4 and 6 concretize an
+    ``hdf5`` build and reuse most of its dependencies from the store).
+    """
+
+    version("1.14.1")
+    version("1.13.1")
+    version("1.12.2")
+    version("1.10.8")
+    version("1.10.2")
+    version("1.8.22", deprecated=True)
+
+    variant("mpi", default=True, description="Enable parallel HDF5 (MPI-IO)")
+    variant("hl", default=False, description="Build the high-level API")
+    variant("cxx", default=False, description="Build the C++ API")
+    variant("fortran", default=False, description="Build the Fortran API")
+    variant("szip", default=False, description="Enable szip compression")
+    variant("threadsafe", default=False, description="Thread-safe library")
+    variant("shared", default=True, description="Build shared libraries")
+    variant(
+        "api",
+        default="default",
+        values=("default", "v18", "v110", "v112"),
+        description="Compatibility API version",
+    )
+
+    depends_on("zlib@1.1.2:")
+    depends_on("mpi", when="+mpi")
+    depends_on("szip", when="+szip")
+    depends_on("pkgconfig", type="build")
+    conflicts("+threadsafe", when="+cxx", msg="HDF5 C++ API is not thread safe")
+    conflicts("api=v18", when="@1.8:1.9", msg="cannot select a newer API than the library")
+
+
+class Szip(AutotoolsPackage):
+    """Implementation of the extended-Rice lossless compression algorithm."""
+
+    version("2.1.1")
+    version("2.1")
+
+
+class NetcdfC(AutotoolsPackage):
+    """NetCDF C library."""
+
+    name = "netcdf-c"
+
+    version("4.9.2")
+    version("4.8.1")
+
+    variant("mpi", default=True, description="Parallel I/O via HDF5")
+    variant("parallel-netcdf", default=False, description="Parallel I/O via PnetCDF")
+    variant("dap", default=False, description="Enable DAP remote access")
+    depends_on("hdf5+mpi", when="+mpi")
+    depends_on("hdf5", when="~mpi")
+    depends_on("parallel-netcdf", when="+parallel-netcdf")
+    depends_on("mpi", when="+mpi")
+    depends_on("curl", when="+dap")
+    depends_on("zlib")
+    depends_on("xz")
+    depends_on("m4", type="build")
+
+
+class ParallelNetcdf(AutotoolsPackage):
+    """PnetCDF: parallel I/O for NetCDF files."""
+
+    name = "parallel-netcdf"
+
+    version("1.12.3")
+    version("1.12.2")
+
+    variant("fortran", default=True, description="Fortran interfaces")
+    variant("shared", default=True, description="Build shared libraries")
+    depends_on("mpi")
+    depends_on("m4", type="build")
+    depends_on("perl", type="build")
+
+
+class Adios2(CMakePackage):
+    """The Adaptable Input Output System, version 2."""
+
+    version("2.9.0")
+    version("2.8.3")
+
+    variant("mpi", default=True, description="MPI support")
+    variant("hdf5", default=False, description="HDF5 engine")
+    variant("python", default=False, description="Python bindings")
+    variant("sst", default=True, description="Staging engine")
+    variant("bzip2", default=True, description="BZip2 compression")
+    variant("zfp", default=True, description="ZFP lossy compression")
+    variant("sz", default=False, description="SZ lossy compression")
+    depends_on("mpi", when="+mpi")
+    depends_on("hdf5+mpi", when="+hdf5+mpi")
+    depends_on("python", when="+python")
+    depends_on("py-numpy", when="+python")
+    depends_on("py-mpi4py", when="+python+mpi")
+    depends_on("bzip2", when="+bzip2")
+    depends_on("zfp", when="+zfp")
+    depends_on("sz", when="+sz")
+    depends_on("libfabric", when="+sst")
+    depends_on("pkgconfig", type="build")
+
+
+class Hdf5VolAsync(CMakePackage):
+    """Asynchronous I/O VOL connector for HDF5."""
+
+    name = "hdf5-vol-async"
+
+    version("1.5")
+    version("1.4")
+    depends_on("hdf5+mpi+threadsafe")
+    depends_on("argobots")
+    depends_on("mpi")
+
+
+class Argobots(AutotoolsPackage):
+    """Lightweight low-level threading and tasking framework."""
+
+    version("1.1")
+    version("1.0.1")
+    variant("perf", default=True, description="Performance optimizations")
+
+
+class Conduit(CMakePackage):
+    """Simplified data exchange for HPC simulations."""
+
+    version("0.8.7")
+    version("0.8.4")
+
+    variant("mpi", default=True, description="MPI support")
+    variant("hdf5", default=True, description="HDF5 I/O")
+    variant("python", default=False, description="Python bindings")
+    depends_on("mpi", when="+mpi")
+    depends_on("hdf5", when="+hdf5")
+    depends_on("python", when="+python")
+    depends_on("py-numpy", when="+python")
+
+
+class DarshanRuntime(AutotoolsPackage):
+    """I/O characterization runtime library."""
+
+    name = "darshan-runtime"
+
+    version("3.4.2")
+    version("3.4.0")
+
+    variant("mpi", default=True, description="Instrument MPI applications")
+    variant("hdf5", default=False, description="Instrument HDF5 calls")
+    depends_on("mpi", when="+mpi")
+    depends_on("hdf5", when="+hdf5")
+    depends_on("zlib")
+
+
+class DarshanUtil(AutotoolsPackage):
+    """Darshan log analysis utilities."""
+
+    name = "darshan-util"
+
+    version("3.4.2")
+    version("3.4.0")
+    variant("bzip2", default=False, description="bzip2 log compression")
+    depends_on("zlib")
+    depends_on("bzip2", when="+bzip2")
+
+
+class Scr(CMakePackage):
+    """Scalable Checkpoint / Restart library."""
+
+    version("3.0.1")
+    version("3.0")
+
+    variant("libyogrt", default=True, description="Use libyogrt for time-left queries")
+    depends_on("mpi")
+    depends_on("axl")
+    depends_on("er")
+    depends_on("kvtree+mpi")
+    depends_on("rankstr")
+    depends_on("redset")
+    depends_on("shuffile")
+    depends_on("spath+mpi")
+    depends_on("libyogrt", when="+libyogrt")
+    depends_on("zlib")
+
+
+class Axl(CMakePackage):
+    """Asynchronous transfer library for checkpointing."""
+
+    version("0.7.1")
+    version("0.6.0")
+    depends_on("kvtree")
+    depends_on("zlib")
+
+
+class Kvtree(CMakePackage):
+    """Key-value tree data structure for HPC tools."""
+
+    version("1.4.0")
+    version("1.3.0")
+    variant("mpi", default=True, description="MPI serialization helpers")
+    depends_on("mpi", when="+mpi")
+
+
+class Er(CMakePackage):
+    """Encoding and redundancy library (SCR component)."""
+
+    version("0.4.0")
+    version("0.3.0")
+    depends_on("kvtree+mpi")
+    depends_on("rankstr")
+    depends_on("redset")
+    depends_on("shuffile")
+    depends_on("mpi")
+
+
+class Rankstr(CMakePackage):
+    """String utilities across MPI ranks."""
+
+    version("0.3.0")
+    version("0.2.0")
+    depends_on("mpi")
+
+
+class Redset(CMakePackage):
+    """Redundancy descriptor sets for checkpoints."""
+
+    version("0.3.0")
+    version("0.2.0")
+    depends_on("kvtree+mpi")
+    depends_on("rankstr")
+    depends_on("mpi")
+
+
+class Shuffile(CMakePackage):
+    """Shuffle files between MPI ranks."""
+
+    version("0.3.0")
+    version("0.2.0")
+    depends_on("kvtree+mpi")
+    depends_on("mpi")
+
+
+class Spath(CMakePackage):
+    """Path manipulation for HPC tools."""
+
+    version("0.2.0")
+    version("0.1.0")
+    variant("mpi", default=True, description="MPI broadcast of paths")
+    depends_on("mpi", when="+mpi")
+
+
+class Libyogrt(AutotoolsPackage):
+    """Your One Get Remaining Time library."""
+
+    version("1.33")
+    version("1.27")
+    variant("scheduler", default="slurm", values=("slurm", "lsf", "none"), description="Scheduler backend")
+    depends_on("slurm", when="scheduler=slurm")
+
+
+class Mpifileutils(CMakePackage):
+    """File utilities designed for scalable parallel execution."""
+
+    version("0.11.1")
+    version("0.11")
+
+    variant("lustre", default=False, description="Lustre support")
+    variant("xattr", default=True, description="Copy extended attributes")
+    depends_on("mpi")
+    depends_on("libcircle")
+    depends_on("lwgrp")
+    depends_on("dtcmp")
+    depends_on("libarchive")
+    depends_on("openssl")
+
+
+class Libcircle(AutotoolsPackage):
+    """Distributed termination detection / work-stealing queue."""
+
+    version("0.3")
+    version("0.2.1-rc.1")
+    depends_on("mpi")
+    depends_on("pkgconfig", type="build")
+
+
+class Lwgrp(AutotoolsPackage):
+    """Lightweight group representation for MPI."""
+
+    version("1.0.5")
+    version("1.0.4")
+    depends_on("mpi")
+
+
+class Dtcmp(AutotoolsPackage):
+    """Datatype comparison operations for MPI."""
+
+    version("1.1.4")
+    version("1.1.3")
+    depends_on("mpi")
+    depends_on("lwgrp")
+
+
+class Libarchive(AutotoolsPackage):
+    """Multi-format archive and compression library."""
+
+    version("3.6.2")
+    version("3.5.3")
+    depends_on("zlib")
+    depends_on("bzip2")
+    depends_on("xz")
+    depends_on("zstd")
+    depends_on("openssl")
+    depends_on("libxml2")
+
+
+class Unifyfs(AutotoolsPackage):
+    """User-level burst buffer file system."""
+
+    version("1.1")
+    version("1.0.1")
+
+    variant("hdf5", default=False, description="Build HDF5 examples")
+    depends_on("gotcha")
+    depends_on("mpi")
+    depends_on("openssl")
+    depends_on("mochi-margo")
+    depends_on("hdf5", when="+hdf5")
+
+
+class MochiMargo(AutotoolsPackage):
+    """Argobots-aware Mercury RPC wrapper."""
+
+    name = "mochi-margo"
+
+    version("0.13.1")
+    version("0.11.1")
+    depends_on("argobots")
+    depends_on("mercury")
+    depends_on("json-c")
+    depends_on("pkgconfig", type="build")
+
+
+class Mercury(CMakePackage):
+    """RPC framework for HPC."""
+
+    version("2.3.0")
+    version("2.2.0")
+    variant("ofi", default=True, description="libfabric plugin")
+    variant("boostsys", default=True, description="Use Boost preprocessor")
+    depends_on("libfabric", when="+ofi")
+    depends_on("boost", when="+boostsys")
+
+
+class JsonC(CMakePackage):
+    """JSON implementation in C."""
+
+    name = "json-c"
+
+    version("0.16")
+    version("0.15")

@@ -1,0 +1,440 @@
+"""Math libraries: BLAS/LAPACK providers, sparse solvers, FFTs, and friends."""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, CMakePackage, MakefilePackage, Package
+
+
+class Openblas(MakefilePackage):
+    """Optimized BLAS/LAPACK based on GotoBLAS2."""
+
+    version("0.3.23")
+    version("0.3.21")
+    version("0.3.20")
+    version("0.3.10")
+
+    provides("blas")
+    provides("lapack")
+    provides("lapack@3.9.1:", when="@0.3.15:")
+
+    variant(
+        "threads",
+        default="none",
+        values=("none", "openmp", "pthreads"),
+        description="Multithreading support",
+    )
+    variant("fortran", default=True, description="Build with a Fortran compiler")
+    variant("ilp64", default=False, description="64-bit integer interface")
+    variant("shared", default=True, description="Build shared libraries")
+    depends_on("perl", type="build")
+
+
+class NetlibLapack(CMakePackage):
+    """Reference LAPACK and BLAS from netlib."""
+
+    name = "netlib-lapack"
+
+    version("3.11.0")
+    version("3.10.1")
+    version("3.9.1")
+
+    provides("blas")
+    provides("lapack")
+
+    variant("shared", default=True, description="Build shared libraries")
+    variant("external-blas", default=False, description="Link an external BLAS")
+    variant("lapacke", default=True, description="Build the LAPACKE C interface")
+    depends_on("blas", when="+external-blas")
+
+
+class NetlibScalapack(CMakePackage):
+    """Reference ScaLAPACK."""
+
+    name = "netlib-scalapack"
+
+    version("2.2.0")
+    version("2.1.0")
+
+    provides("scalapack")
+
+    variant("shared", default=True, description="Build shared libraries")
+    variant("pic", default=True, description="Position independent code")
+    depends_on("mpi")
+    depends_on("blas")
+    depends_on("lapack")
+
+
+class Fftw(AutotoolsPackage):
+    """Fastest Fourier Transform in the West."""
+
+    version("3.3.10")
+    version("3.3.9")
+    version("3.3.8")
+
+    provides("fftw-api")
+    provides("fftw-api@3", when="@3:")
+
+    variant("mpi", default=True, description="Build MPI-enabled transforms")
+    variant("openmp", default=False, description="Enable OpenMP support")
+    variant(
+        "precision",
+        default="double",
+        values=("float", "double", "long_double"),
+        multi=True,
+        description="Floating point precisions to build",
+    )
+    depends_on("mpi", when="+mpi")
+
+
+class Metis(CMakePackage):
+    """Serial graph partitioning and fill-reducing matrix ordering."""
+
+    version("5.1.0")
+    version("4.0.3", deprecated=True)
+
+    variant("shared", default=True, description="Build shared libraries")
+    variant("int64", default=False, description="64-bit integer indices")
+    variant("real64", default=False, description="Double-precision reals")
+
+
+class Parmetis(CMakePackage):
+    """Parallel graph partitioning."""
+
+    version("4.0.3")
+
+    variant("shared", default=True, description="Build shared libraries")
+    variant("int64", default=False, description="64-bit integer indices")
+    depends_on("mpi")
+    depends_on("metis")
+    depends_on("metis+int64", when="+int64")
+
+
+class SuperluDist(CMakePackage):
+    """Distributed-memory sparse direct solver."""
+
+    name = "superlu-dist"
+
+    version("8.1.2")
+    version("7.2.0")
+    version("6.4.0")
+
+    variant("int64", default=False, description="64-bit integer indices")
+    variant("openmp", default=False, description="OpenMP parallelism within nodes")
+    variant("cuda", default=False, description="CUDA offload")
+    depends_on("mpi")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("parmetis")
+    depends_on("metis")
+    depends_on("cuda", when="+cuda")
+
+
+class ArpackNg(CMakePackage):
+    """Large-scale eigenvalue problems (ARPACK successor)."""
+
+    name = "arpack-ng"
+
+    version("3.9.0")
+    version("3.8.0")
+
+    variant("mpi", default=True, description="Build parallel PARPACK")
+    variant("shared", default=True, description="Build shared libraries")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("mpi", when="+mpi")
+
+
+class Hypre(AutotoolsPackage):
+    """Scalable linear solvers and multigrid preconditioners."""
+
+    version("2.28.0")
+    version("2.26.0")
+    version("2.24.0")
+    version("2.20.0")
+
+    variant("mpi", default=True, description="Enable MPI support")
+    variant("openmp", default=False, description="Enable OpenMP")
+    variant("cuda", default=False, description="CUDA support")
+    variant("shared", default=True, description="Build shared libraries")
+    variant("int64", default=False, description="64-bit integers")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("mpi", when="+mpi")
+    depends_on("cuda@10:", when="+cuda")
+    conflicts("+cuda", when="+int64", msg="hypre CUDA build requires 32-bit integers")
+
+
+class Petsc(Package):
+    """Portable, Extensible Toolkit for Scientific Computation."""
+
+    version("3.19.1")
+    version("3.18.6")
+    version("3.17.5")
+    version("3.16.6")
+
+    variant("mpi", default=True, description="Use MPI")
+    variant("hypre", default=True, description="Interface to hypre")
+    variant("superlu-dist", default=True, description="Interface to SuperLU_DIST")
+    variant("metis", default=True, description="Interface to METIS/ParMETIS")
+    variant("hdf5", default=True, description="HDF5 I/O support")
+    variant("fftw", default=False, description="FFTW interface")
+    variant("cuda", default=False, description="CUDA support")
+    variant("complex", default=False, description="Complex scalars")
+    variant("debug", default=False, description="Debug build")
+
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("mpi", when="+mpi")
+    depends_on("hypre+mpi", when="+hypre+mpi")
+    depends_on("superlu-dist", when="+superlu-dist+mpi")
+    depends_on("metis", when="+metis")
+    depends_on("parmetis", when="+metis+mpi")
+    depends_on("hdf5+mpi", when="+hdf5+mpi")
+    depends_on("fftw+mpi", when="+fftw+mpi")
+    depends_on("cuda", when="+cuda")
+    depends_on("python", type="build")
+    depends_on("diffutils", type="build")
+    conflicts("+hypre", when="+complex", msg="hypre does not support complex scalars")
+
+
+class Slepc(Package):
+    """Scalable eigenvalue computations on top of PETSc."""
+
+    version("3.19.0")
+    version("3.18.3")
+
+    variant("arpack", default=True, description="Use ARPACK-NG")
+    depends_on("petsc")
+    depends_on("petsc@3.19.0:", when="@3.19.0:")
+    depends_on("arpack-ng", when="+arpack")
+    depends_on("python", type="build")
+
+
+class Trilinos(CMakePackage):
+    """A collection of interoperable scientific libraries from Sandia."""
+
+    version("14.0.0")
+    version("13.4.1")
+    version("13.0.1")
+
+    variant("mpi", default=True, description="Build with MPI")
+    variant("openmp", default=False, description="OpenMP node parallelism")
+    variant("cuda", default=False, description="CUDA support via Kokkos")
+    variant("shared", default=True, description="Build shared libraries")
+    variant("kokkos", default=True, description="Enable the Kokkos packages")
+    variant("amesos2", default=True, description="Enable Amesos2 direct solvers")
+    variant("belos", default=True, description="Enable Belos iterative solvers")
+
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("mpi", when="+mpi")
+    depends_on("kokkos", when="+kokkos")
+    depends_on("kokkos+cuda", when="+kokkos+cuda")
+    depends_on("superlu-dist", when="+amesos2+mpi")
+    depends_on("metis")
+    depends_on("parmetis", when="+mpi")
+    depends_on("boost")
+    depends_on("hdf5+mpi", when="+mpi")
+    depends_on("netlib-scalapack", when="+mpi")
+    conflicts("%gcc@:7", when="@14:", msg="Trilinos 14 requires C++17")
+
+
+class Sundials(CMakePackage):
+    """SUite of Nonlinear and DIfferential/ALgebraic equation Solvers."""
+
+    version("6.5.1")
+    version("6.4.1")
+    version("5.8.0")
+
+    variant("mpi", default=True, description="Enable MPI vectors")
+    variant("openmp", default=False, description="Enable OpenMP vectors")
+    variant("cuda", default=False, description="Enable CUDA vectors")
+    variant("hypre", default=False, description="Interface to hypre")
+    depends_on("mpi", when="+mpi")
+    depends_on("hypre+mpi", when="+hypre")
+    depends_on("cuda", when="+cuda")
+    depends_on("blas")
+    depends_on("lapack")
+
+
+class Ginkgo(CMakePackage):
+    """High-performance linear algebra on many-core architectures."""
+
+    version("1.6.0")
+    version("1.5.0")
+
+    variant("cuda", default=False, description="CUDA backend")
+    variant("rocm", default=False, description="HIP/ROCm backend")
+    variant("openmp", default=True, description="OpenMP backend")
+    variant("shared", default=True, description="Build shared libraries")
+    depends_on("cuda@9.2:", when="+cuda")
+    depends_on("hip", when="+rocm")
+    depends_on("rocblas", when="+rocm")
+    depends_on("rocsparse", when="+rocm")
+
+
+class Magma(CMakePackage):
+    """Dense linear algebra for heterogeneous (GPU) architectures."""
+
+    version("2.7.1")
+    version("2.6.2")
+
+    variant("cuda", default=True, description="CUDA backend")
+    variant("rocm", default=False, description="ROCm backend")
+    variant("fortran", default=True, description="Fortran interfaces")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("cuda@10:", when="+cuda")
+    depends_on("hip", when="+rocm")
+    depends_on("rocblas", when="+rocm")
+    conflicts("+cuda", when="+rocm", msg="pick one GPU backend")
+
+
+class Blaspp(CMakePackage):
+    """C++ API for BLAS (part of SLATE)."""
+
+    version("2023.01.00")
+    version("2022.07.00")
+
+    variant("cuda", default=False, description="CUDA support")
+    variant("openmp", default=True, description="OpenMP support")
+    depends_on("blas")
+    depends_on("cuda", when="+cuda")
+
+
+class Lapackpp(CMakePackage):
+    """C++ API for LAPACK (part of SLATE)."""
+
+    version("2023.01.00")
+    version("2022.07.00")
+    depends_on("blaspp")
+    depends_on("lapack")
+
+
+class Slate(CMakePackage):
+    """Distributed dense linear algebra targeting exascale (ECP)."""
+
+    version("2023.06.00")
+    version("2022.07.00")
+
+    variant("mpi", default=True, description="MPI support")
+    variant("cuda", default=False, description="CUDA support")
+    variant("openmp", default=True, description="OpenMP support")
+    depends_on("blaspp")
+    depends_on("lapackpp")
+    depends_on("mpi", when="+mpi")
+    depends_on("netlib-scalapack", when="+mpi")
+    depends_on("cuda", when="+cuda")
+
+
+class Heffte(CMakePackage):
+    """Highly Efficient FFT for Exascale."""
+
+    version("2.3.0")
+    version("2.2.0")
+
+    variant("fftw", default=True, description="Use FFTW backend")
+    variant("cuda", default=False, description="Use cuFFT backend")
+    depends_on("mpi")
+    depends_on("fftw-api", when="+fftw")
+    depends_on("cuda", when="+cuda")
+
+
+class Tasmanian(CMakePackage):
+    """Toolkit for Adaptive Stochastic Modeling and Non-Intrusive ApproximatioN."""
+
+    version("7.9")
+    version("7.7")
+
+    variant("mpi", default=True, description="MPI support")
+    variant("blas", default=True, description="BLAS acceleration")
+    variant("python", default=False, description="Python bindings")
+    depends_on("mpi", when="+mpi")
+    depends_on("blas", when="+blas")
+    depends_on("python", when="+python")
+    depends_on("py-numpy", when="+python")
+
+
+class Strumpack(CMakePackage):
+    """Structured matrix solvers and preconditioners."""
+
+    version("7.1.1")
+    version("6.3.1")
+
+    variant("mpi", default=True, description="MPI support")
+    variant("openmp", default=True, description="OpenMP support")
+    variant("butterflypack", default=True, description="Use ButterflyPACK")
+    variant("zfp", default=True, description="ZFP compression of frontal matrices")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("mpi", when="+mpi")
+    depends_on("netlib-scalapack", when="+mpi")
+    depends_on("metis")
+    depends_on("parmetis", when="+mpi")
+    depends_on("butterflypack", when="+butterflypack+mpi")
+    depends_on("zfp", when="+zfp")
+
+
+class Butterflypack(CMakePackage):
+    """Butterfly-based hierarchical matrix package."""
+
+    version("2.4.0")
+    version("2.2.2")
+    depends_on("mpi")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("netlib-scalapack")
+
+
+class Zfp(CMakePackage):
+    """Compressed numerical arrays with bounded error."""
+
+    version("1.0.0")
+    version("0.5.5")
+
+    variant("shared", default=True, description="Build shared libraries")
+    variant("cuda", default=False, description="CUDA support")
+    depends_on("cuda", when="+cuda")
+
+
+class Sz(CMakePackage):
+    """Error-bounded lossy compressor for scientific data."""
+
+    version("2.1.12.5")
+    version("2.1.12")
+
+    variant("hdf5", default=False, description="HDF5 filter plugin")
+    variant("python", default=False, description="Python bindings")
+    depends_on("zlib")
+    depends_on("zstd")
+    depends_on("hdf5", when="+hdf5")
+    depends_on("python", when="+python")
+
+
+class Gsl(AutotoolsPackage):
+    """GNU Scientific Library."""
+
+    version("2.7.1")
+    version("2.6")
+    variant("external-cblas", default=False, description="Use an external CBLAS")
+    depends_on("blas", when="+external-cblas")
+
+
+class Eigen(CMakePackage):
+    """C++ template library for linear algebra."""
+
+    version("3.4.0")
+    version("3.3.9")
+
+
+class SuiteSparse(MakefilePackage):
+    """Sparse matrix algorithms suite."""
+
+    name = "suite-sparse"
+
+    version("5.13.0")
+    version("5.10.1")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("metis")
+    depends_on("gmp")
+    depends_on("mpfr")

@@ -1,0 +1,277 @@
+"""MPI implementations and the communication/runtime layer.
+
+The virtual ``mpi`` package and its providers are central to the paper: they
+drive provider selection (Section V), the usability improvements of Section
+VI-B (``hpctoolkit ^mpich``), and the possible-dependency clustering of
+Section VII-B.  ``mpilander`` is the paper's example of an MPI provider that
+itself needs cmake, creating circular *possible* dependencies
+(``mpilander -> cmake -> ... -> valgrind -> mpi``).
+"""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, CMakePackage, Package
+
+
+class Mpich(AutotoolsPackage):
+    """High-performance implementation of the MPI standard."""
+
+    version("4.1.1")
+    version("4.0.2")
+    version("3.4.3")
+    version("3.1")
+
+    provides("mpi")
+    provides("mpi@:3.1", when="@3:3.4.3")
+    provides("mpi@:4.0", when="@4:")
+
+    variant(
+        "device",
+        default="ch4",
+        values=("ch3", "ch4"),
+        description="Communication device implementation",
+    )
+    variant("pmi", default="pmi", values=("pmi", "pmi2", "pmix"), description="PMI interface")
+    variant("fortran", default=True, description="Build Fortran bindings")
+    variant("romio", default=True, description="Build the ROMIO MPI-IO implementation")
+    variant("slurm", default=False, description="Use Slurm for process management")
+    variant("libfabric", default=True, description="Use libfabric (OFI) for networking")
+
+    depends_on("hwloc")
+    depends_on("libfabric", when="+libfabric")
+    depends_on("slurm", when="+slurm")
+    depends_on("libpciaccess")
+    depends_on("libxml2")
+    depends_on("findutils", type="build")
+    depends_on("pkgconfig", type="build")
+
+
+class Openmpi(AutotoolsPackage):
+    """Open MPI: an open-source MPI implementation."""
+
+    version("4.1.5")
+    version("4.1.4")
+    version("4.0.7")
+    version("3.1.6", deprecated=True)
+
+    provides("mpi")
+    provides("mpi@:3.1", when="@3.0.0:")
+
+    variant("cuda", default=False, description="CUDA-aware MPI")
+    variant("pmix", default=True, description="Use PMIx for process management")
+    variant("romio", default=True, description="Build the ROMIO MPI-IO implementation")
+    variant(
+        "fabrics",
+        default="ucx",
+        values=("ucx", "ofi", "none"),
+        description="High-speed fabric support",
+    )
+    variant("legacylaunchers", default=False, description="Keep mpirun/mpiexec")
+
+    depends_on("hwloc")
+    depends_on("libevent")
+    depends_on("openssl")
+    depends_on("pmix", when="+pmix")
+    depends_on("ucx", when="fabrics=ucx")
+    depends_on("libfabric", when="fabrics=ofi")
+    depends_on("cuda", when="+cuda")
+    depends_on("zlib")
+    depends_on("perl", type="build")
+    depends_on("pkgconfig", type="build")
+
+
+class Mvapich2(AutotoolsPackage):
+    """MVAPICH2: MPI over InfiniBand and friends."""
+
+    version("2.3.7")
+    version("2.3.6")
+
+    provides("mpi")
+    provides("mpi@:3.1")
+
+    variant("wrapperrpath", default=True, description="Enable wrapper rpath")
+    variant("debug", default=False, description="Enable debug info")
+    depends_on("libpciaccess")
+    depends_on("libxml2")
+    depends_on("bison", type="build")
+    conflicts("target=aarch64:", msg="mvapich2 is not validated on ARM64 here")
+
+
+class Mpilander(CMakePackage):
+    """A single-node MPI implementation (the paper's circular-dependency example)."""
+
+    version("0.1.0")
+
+    provides("mpi")
+    provides("mpi@:3.1")
+    conflicts("%intel", msg="mpilander requires a modern C++ compiler")
+
+
+class Libfabric(AutotoolsPackage):
+    """Open Fabric Interfaces (OFI) user-space library."""
+
+    version("1.18.0")
+    version("1.17.1")
+    version("1.14.1")
+
+    variant(
+        "fabrics",
+        default="sockets",
+        values=("sockets", "tcp", "udp", "verbs", "shm"),
+        multi=True,
+        description="Enabled fabrics",
+    )
+    variant("debug", default=False, description="Enable debug logging")
+    depends_on("pkgconfig", type="build")
+
+
+class Ucx(AutotoolsPackage):
+    """Unified Communication X."""
+
+    version("1.14.0")
+    version("1.13.1")
+    version("1.12.1")
+
+    variant("thread_multiple", default=True, description="MPI_THREAD_MULTIPLE support")
+    variant("cuda", default=False, description="CUDA transport")
+    variant("rocm", default=False, description="ROCm transport")
+    depends_on("numactl")
+    depends_on("cuda", when="+cuda")
+    depends_on("hip", when="+rocm")
+    depends_on("pkgconfig", type="build")
+
+
+class Pmix(AutotoolsPackage):
+    """Process Management Interface for Exascale."""
+
+    version("4.2.3")
+    version("4.1.2")
+    version("3.2.3")
+
+    variant("python", default=False, description="Python bindings")
+    depends_on("hwloc")
+    depends_on("libevent")
+    depends_on("zlib")
+    depends_on("python", when="+python")
+    depends_on("pkgconfig", type="build")
+
+
+class Slurm(AutotoolsPackage):
+    """Workload manager (client libraries)."""
+
+    version("23.02.1")
+    version("22.05.8")
+
+    variant("pmix", default=True, description="Build PMIx plugin")
+    variant("readline", default=True, description="readline support in scontrol")
+    depends_on("munge")
+    depends_on("pmix", when="+pmix")
+    depends_on("readline", when="+readline")
+    depends_on("curl")
+    depends_on("openssl")
+    depends_on("pkgconfig", type="build")
+
+
+class Munge(AutotoolsPackage):
+    """MUNGE Uid 'N' Gid Emporium authentication service."""
+
+    version("0.5.15")
+    version("0.5.14")
+    depends_on("openssl")
+    depends_on("libgcrypt")
+
+
+class Libgcrypt(AutotoolsPackage):
+    """General purpose cryptographic library."""
+
+    version("1.10.2")
+    version("1.9.4")
+    depends_on("libgpg-error")
+
+
+class LibgpgError(AutotoolsPackage):
+    """Common error values for GnuPG components."""
+
+    version("1.47")
+    version("1.45")
+
+
+class FluxCore(AutotoolsPackage):
+    """A next-generation resource manager framework."""
+
+    name = "flux-core"
+
+    version("0.49.0")
+    version("0.47.0")
+
+    variant("cuda", default=False, description="CUDA-aware job management")
+    depends_on("czmq")
+    depends_on("hwloc")
+    depends_on("libyaml")
+    depends_on("lua")
+    depends_on("python@3.6:")
+    depends_on("py-cffi", type=("build", "run"))
+    depends_on("py-pyyaml", type=("build", "run"))
+    depends_on("sqlite")
+    depends_on("util-linux-uuid")
+    depends_on("libedit")
+    depends_on("cuda", when="+cuda")
+    depends_on("pkgconfig", type="build")
+
+
+class FluxSched(CMakePackage):
+    """Advanced job scheduling for flux-core."""
+
+    name = "flux-sched"
+
+    version("0.27.0")
+    version("0.25.0")
+    depends_on("flux-core")
+    depends_on("boost@1.66:")
+    depends_on("libedit")
+    depends_on("python@3.6:")
+    depends_on("yaml-cpp")
+
+
+class Czmq(AutotoolsPackage):
+    """High-level C binding for ZeroMQ."""
+
+    version("4.2.1")
+    version("4.2.0")
+    depends_on("libzmq")
+    depends_on("util-linux-uuid")
+
+
+class Libzmq(AutotoolsPackage):
+    """ZeroMQ messaging kernel."""
+
+    version("4.3.4")
+    version("4.3.3")
+    depends_on("libsodium")
+
+
+class Libsodium(AutotoolsPackage):
+    """Modern, easy-to-use crypto library."""
+
+    version("1.0.18")
+    version("1.0.17")
+
+
+class PyCffi(Package):
+    """C Foreign Function Interface for Python."""
+
+    name = "py-cffi"
+
+    version("1.15.1")
+    version("1.15.0")
+    depends_on("python", type=("build", "run"))
+    depends_on("py-setuptools", type="build")
+    depends_on("libffi")
+
+
+class Lua(AutotoolsPackage):
+    """Lightweight scripting language."""
+
+    version("5.4.4")
+    version("5.3.6")
+    depends_on("ncurses")
+    depends_on("readline")

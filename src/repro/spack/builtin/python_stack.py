@@ -1,0 +1,208 @@
+"""Python and the py-* ecosystem used throughout E4S."""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, Package, PythonPackage
+
+
+class Python(Package):
+    """The Python interpreter."""
+
+    version("3.11.2")
+    version("3.10.10")
+    version("3.9.16")
+    version("3.8.16")
+    version("2.7.18", deprecated=True)
+
+    variant("optimizations", default=False, description="Enable PGO/LTO")
+    variant("ssl", default=True, description="Build the ssl module")
+    variant("sqlite3", default=True, description="Build the sqlite3 module")
+    variant("readline", default=True, description="Build the readline module")
+    variant("tkinter", default=False, description="Build tkinter")
+    variant("shared", default=True, description="Build libpython as a shared library")
+
+    depends_on("openssl", when="+ssl")
+    depends_on("sqlite", when="+sqlite3")
+    depends_on("readline", when="+readline")
+    depends_on("bzip2")
+    depends_on("expat")
+    depends_on("gdbm")
+    depends_on("gettext")
+    depends_on("libffi")
+    depends_on("xz")
+    depends_on("zlib")
+    depends_on("util-linux-uuid")
+    depends_on("pkgconfig", type="build")
+
+
+class PySetuptools(Package):
+    """Python packaging tools (kept out of PythonPackage to avoid self-dependency)."""
+
+    name = "py-setuptools"
+
+    version("67.6.0")
+    version("63.4.3")
+    version("59.4.0")
+    depends_on("python@3.7:", type=("build", "run"))
+
+
+class PyPip(Package):
+    name = "py-pip"
+
+    version("23.0")
+    version("22.2.2")
+    depends_on("python@3.7:", type=("build", "run"))
+
+
+class PyWheel(Package):
+    name = "py-wheel"
+
+    version("0.40.0")
+    version("0.37.1")
+    depends_on("python@3.7:", type=("build", "run"))
+    depends_on("py-setuptools", type="build")
+
+
+class PyCython(PythonPackage):
+    """Optimising static compiler for Python."""
+
+    version("0.29.34")
+    version("0.29.32")
+    version("3.0.0")
+
+
+class PyNumpy(PythonPackage):
+    """Fundamental package for scientific computing with Python."""
+
+    version("1.24.3")
+    version("1.23.5")
+    version("1.21.6")
+
+    variant("blas", default=True, description="Link against an optimized BLAS")
+    variant("lapack", default=True, description="Link against an optimized LAPACK")
+    depends_on("blas", when="+blas")
+    depends_on("lapack", when="+lapack")
+    depends_on("py-cython@0.29.30:", type="build")
+    depends_on("python@3.8:", when="@1.23:", type=("build", "run"))
+
+
+class PyScipy(PythonPackage):
+    """Scientific algorithms for Python."""
+
+    version("1.10.1")
+    version("1.9.3")
+    version("1.8.1")
+
+    depends_on("py-numpy@1.19.5:")
+    depends_on("blas")
+    depends_on("lapack")
+    depends_on("py-cython@0.29.32:", type="build")
+    depends_on("py-pybind11", type="build")
+
+
+class PyPybind11(PythonPackage):
+    """Seamless operability between C++11 and Python."""
+
+    name = "py-pybind11"
+
+    version("2.10.4")
+    version("2.9.2")
+    depends_on("cmake", type="build")
+
+
+class PyMpi4py(PythonPackage):
+    """Python bindings for MPI."""
+
+    name = "py-mpi4py"
+
+    version("3.1.4")
+    version("3.1.2")
+    depends_on("mpi")
+    depends_on("py-cython", type="build")
+
+
+class PyH5py(PythonPackage):
+    """Python interface to HDF5."""
+
+    name = "py-h5py"
+
+    version("3.8.0")
+    version("3.7.0")
+
+    variant("mpi", default=True, description="Build with MPI support")
+    depends_on("hdf5+hl")
+    depends_on("hdf5+mpi", when="+mpi")
+    depends_on("mpi", when="+mpi")
+    depends_on("py-mpi4py", when="+mpi")
+    depends_on("py-numpy@1.17.3:")
+    depends_on("py-cython@0.29:", type="build")
+    depends_on("py-pkgconfig", type="build")
+
+
+class PyPkgconfig(PythonPackage):
+    """Python interface to pkg-config."""
+
+    name = "py-pkgconfig"
+
+    version("1.5.5")
+    depends_on("pkgconfig", type="run")
+
+
+class PyYaml(PythonPackage):
+    """YAML parser and emitter for Python."""
+
+    name = "py-pyyaml"
+
+    version("6.0")
+    version("5.4.1")
+    variant("libyaml", default=True, description="Use the fast libyaml bindings")
+    depends_on("libyaml", when="+libyaml")
+    depends_on("py-cython", when="+libyaml", type="build")
+
+
+class PyJsonschema(PythonPackage):
+    name = "py-jsonschema"
+
+    version("4.17.3")
+    version("4.16.0")
+    depends_on("py-attrs", type=("build", "run"))
+
+
+class PyAttrs(PythonPackage):
+    name = "py-attrs"
+
+    version("22.2.0")
+    version("21.4.0")
+
+
+class PyPandas(PythonPackage):
+    """Data analysis library."""
+
+    name = "py-pandas"
+
+    version("2.0.1")
+    version("1.5.3")
+    depends_on("py-numpy@1.20.3:")
+    depends_on("py-python-dateutil", type=("build", "run"))
+    depends_on("py-pytz", type=("build", "run"))
+    depends_on("py-cython@0.29.33:", type="build")
+
+
+class PyPythonDateutil(PythonPackage):
+    name = "py-python-dateutil"
+
+    version("2.8.2")
+    depends_on("py-six", type=("build", "run"))
+
+
+class PyPytz(PythonPackage):
+    name = "py-pytz"
+
+    version("2023.3")
+    version("2022.7.1")
+
+
+class PySix(PythonPackage):
+    name = "py-six"
+
+    version("1.16.0")
+    version("1.15.0")

@@ -1,0 +1,301 @@
+"""GPU runtimes and performance-portability layers (CUDA, ROCm, Kokkos, RAJA)."""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, CMakePackage, Package
+
+
+class Cuda(Package):
+    """The NVIDIA CUDA toolkit (modeled as an ordinary package)."""
+
+    version("12.1.1")
+    version("11.8.0")
+    version("11.4.4")
+    version("10.2.89")
+
+    variant("dev", default=False, description="Install development tools")
+    conflicts("target=ppc64le", when="@12:", msg="CUDA 12 dropped ppc64le support")
+    conflicts("%gcc@12:", when="@:11.8.0", msg="older CUDA does not support gcc 12+")
+
+
+class LlvmAmdgpu(CMakePackage):
+    """The ROCm fork of LLVM."""
+
+    name = "llvm-amdgpu"
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("zlib")
+    depends_on("ncurses")
+    depends_on("python", type="build")
+    depends_on("perl", type="build")
+    conflicts("target=ppc64le", msg="ROCm is x86_64-only in this model")
+    conflicts("target=aarch64:", msg="ROCm is x86_64-only in this model")
+
+
+class HsaRocrDev(CMakePackage):
+    """ROCm HSA runtime."""
+
+    name = "hsa-rocr-dev"
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("llvm-amdgpu")
+    depends_on("libelf")
+    depends_on("numactl")
+    conflicts("target=ppc64le", msg="ROCm is x86_64-only in this model")
+
+
+class Hip(CMakePackage):
+    """The HIP GPU programming interface for AMD GPUs."""
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("hsa-rocr-dev")
+    depends_on("llvm-amdgpu")
+    depends_on("perl", type="build")
+    conflicts("target=ppc64le", msg="ROCm is x86_64-only in this model")
+
+
+class RocmCmake(CMakePackage):
+    """CMake helpers for the ROCm stack."""
+
+    name = "rocm-cmake"
+
+    version("5.4.3")
+    version("5.2.3")
+
+
+class Rocblas(CMakePackage):
+    """ROCm BLAS implementation."""
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("hip")
+    depends_on("rocm-cmake", type="build")
+    depends_on("python", type="build")
+
+
+class Rocsparse(CMakePackage):
+    """ROCm sparse linear algebra."""
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("hip")
+    depends_on("rocprim")
+    depends_on("rocm-cmake", type="build")
+
+
+class Rocsolver(CMakePackage):
+    """ROCm dense solvers."""
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("rocblas")
+    depends_on("hip")
+    depends_on("rocm-cmake", type="build")
+
+
+class Rocprim(CMakePackage):
+    """ROCm parallel primitives."""
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("hip")
+    depends_on("rocm-cmake", type="build")
+
+
+class Rocthrust(CMakePackage):
+    """Thrust ported to HIP/ROCm."""
+
+    version("5.4.3")
+    version("5.2.3")
+    depends_on("hip")
+    depends_on("rocprim")
+    depends_on("rocm-cmake", type="build")
+
+
+class Kokkos(CMakePackage):
+    """C++ performance-portability programming ecosystem."""
+
+    version("4.0.01")
+    version("3.7.02")
+    version("3.6.01")
+
+    variant("openmp", default=True, description="OpenMP backend")
+    variant("cuda", default=False, description="CUDA backend")
+    variant("rocm", default=False, description="HIP backend")
+    variant("serial", default=True, description="Serial backend")
+    variant("shared", default=True, description="Build shared libraries")
+    variant("cuda_lambda", default=False, description="Enable CUDA lambdas")
+
+    depends_on("cuda@10.1:", when="+cuda")
+    depends_on("kokkos-nvcc-wrapper", when="+cuda")
+    depends_on("hip", when="+rocm")
+    conflicts("+cuda", when="+rocm", msg="pick one GPU backend")
+    conflicts("+cuda_lambda", when="~cuda", msg="CUDA lambdas require the CUDA backend")
+    conflicts("%gcc@:7", when="@4:", msg="Kokkos 4 requires C++17")
+
+
+class KokkosNvccWrapper(Package):
+    """Wrapper that makes nvcc usable as a Kokkos compiler."""
+
+    name = "kokkos-nvcc-wrapper"
+
+    version("4.0.01")
+    version("3.7.02")
+    depends_on("cuda")
+
+
+class KokkosKernels(CMakePackage):
+    """Math kernels built on Kokkos."""
+
+    name = "kokkos-kernels"
+
+    version("4.0.01")
+    version("3.7.01")
+
+    variant("cuda", default=False, description="CUDA backend")
+    variant("openmp", default=True, description="OpenMP backend")
+    depends_on("kokkos")
+    depends_on("kokkos+cuda", when="+cuda")
+    depends_on("kokkos+openmp", when="+openmp")
+    depends_on("blas")
+
+
+class Camp(CMakePackage):
+    """Compiler-agnostic metaprogramming library (RAJA portability suite)."""
+
+    version("2022.10.1")
+    version("2022.03.2")
+    version("0.2.3")
+
+    variant("cuda", default=False, description="CUDA support")
+    variant("rocm", default=False, description="HIP support")
+    depends_on("blt", type="build")
+    depends_on("cuda", when="+cuda")
+    depends_on("hip", when="+rocm")
+
+
+class Blt(Package):
+    """CMake-based build and test framework from LLNL."""
+
+    version("0.5.3")
+    version("0.5.2")
+    version("0.4.1")
+    depends_on("cmake", type="run")
+
+
+class Raja(CMakePackage):
+    """Performance-portability abstractions for loop-based codes."""
+
+    version("2022.10.4")
+    version("2022.03.0")
+    version("0.14.0")
+
+    variant("openmp", default=True, description="OpenMP backend")
+    variant("cuda", default=False, description="CUDA backend")
+    variant("rocm", default=False, description="HIP backend")
+    variant("shared", default=True, description="Build shared libraries")
+    variant("examples", default=False, description="Build examples")
+
+    depends_on("blt", type="build")
+    depends_on("camp")
+    depends_on("camp+cuda", when="+cuda")
+    depends_on("camp+rocm", when="+rocm")
+    depends_on("cuda", when="+cuda")
+    depends_on("hip", when="+rocm")
+    conflicts("+cuda", when="+rocm", msg="pick one GPU backend")
+
+
+class Umpire(CMakePackage):
+    """Memory-resource management for heterogeneous architectures."""
+
+    version("2022.10.0")
+    version("2022.03.1")
+    version("6.0.0")
+
+    variant("openmp", default=False, description="OpenMP support")
+    variant("cuda", default=False, description="CUDA support")
+    variant("rocm", default=False, description="HIP support")
+    variant("shared", default=True, description="Build shared libraries")
+    depends_on("blt", type="build")
+    depends_on("camp")
+    depends_on("camp+cuda", when="+cuda")
+    depends_on("cuda", when="+cuda")
+    depends_on("hip", when="+rocm")
+
+
+class Chai(CMakePackage):
+    """Managed arrays that copy themselves between memory spaces."""
+
+    version("2022.10.0")
+    version("2022.03.0")
+
+    variant("cuda", default=False, description="CUDA support")
+    variant("rocm", default=False, description="HIP support")
+    depends_on("umpire")
+    depends_on("raja")
+    depends_on("blt", type="build")
+    depends_on("camp")
+    depends_on("cuda", when="+cuda")
+    depends_on("hip", when="+rocm")
+
+
+class Adiak(CMakePackage):
+    """Collects metadata about HPC application runs."""
+
+    version("0.4.0")
+    version("0.2.2")
+    variant("mpi", default=True, description="MPI metadata")
+    depends_on("mpi", when="+mpi")
+
+
+class Caliper(CMakePackage):
+    """Application-level performance instrumentation library."""
+
+    version("2.9.0")
+    version("2.8.0")
+
+    variant("mpi", default=True, description="MPI support")
+    variant("papi", default=True, description="PAPI counter support")
+    variant("libunwind", default=True, description="Callpath sampling via libunwind")
+    variant("cuda", default=False, description="CUpti support")
+    depends_on("adiak")
+    depends_on("mpi", when="+mpi")
+    depends_on("papi", when="+papi")
+    depends_on("libunwind", when="+libunwind")
+    depends_on("cuda", when="+cuda")
+    depends_on("python", type="build")
+
+
+class Upcxx(Package):
+    """Partitioned Global Address Space (PGAS) library for C++."""
+
+    version("2023.3.0")
+    version("2022.9.0")
+
+    variant("mpi", default=False, description="Enable the MPI-based spawner")
+    variant("cuda", default=False, description="CUDA memory kinds")
+    depends_on("mpi", when="+mpi")
+    depends_on("cuda", when="+cuda")
+    depends_on("python", type="build")
+
+
+class Qthreads(AutotoolsPackage):
+    """Lightweight locality-aware user-level threading."""
+
+    version("1.18")
+    version("1.16")
+    variant("hwloc", default=True, description="Use hwloc for topology")
+    depends_on("hwloc", when="+hwloc")
+
+
+class Gasnet(AutotoolsPackage):
+    """Networking middleware for PGAS runtimes."""
+
+    version("2023.3.0")
+    version("2022.9.0")
+    variant("mpi", default=False, description="MPI conduit")
+    variant("ofi", default=False, description="OFI conduit")
+    depends_on("mpi", when="+mpi")
+    depends_on("libfabric", when="+ofi")

@@ -1,0 +1,300 @@
+"""Performance tools and developer tools (HPCToolkit, TAU-like stack, dyninst...)."""
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.package import AutotoolsPackage, CMakePackage, Package
+
+
+class Hpctoolkit(AutotoolsPackage):
+    """Integrated suite of tools for measurement and analysis of program performance.
+
+    The paper's Section VI-B.1 example: ``depends_on('mpi', when='+mpi')`` with
+    ``mpi`` defaulting to False means the greedy concretizer cannot solve
+    ``hpctoolkit ^mpich``, while the ASP concretizer flips the variant.
+    """
+
+    version("2023.03.01")
+    version("2022.10.01")
+    version("2022.04.15")
+
+    variant("mpi", default=False, description="Build the MPI analysis tool hpcprof-mpi")
+    variant("papi", default=True, description="Use PAPI hardware counters")
+    variant("cuda", default=False, description="Support CUDA kernel profiling")
+    variant("rocm", default=False, description="Support ROCm kernel profiling")
+    variant("viewer", default=False, description="Also install hpcviewer")
+
+    depends_on("mpi", when="+mpi")
+    depends_on("papi", when="+papi")
+    depends_on("cuda", when="+cuda")
+    depends_on("hip", when="+rocm")
+    depends_on("boost")
+    depends_on("binutils")
+    depends_on("dyninst")
+    depends_on("elfutils")
+    depends_on("intel-tbb")
+    depends_on("intel-xed", when="target=x86_64")
+    depends_on("libdwarf")
+    depends_on("libmonitor")
+    depends_on("libunwind")
+    depends_on("xz")
+    depends_on("zlib")
+    depends_on("hpcviewer", when="+viewer")
+    conflicts("%intel", msg="hpctoolkit does not build with classic Intel compilers")
+
+
+class Hpcviewer(Package):
+    """Java-based viewer for HPCToolkit databases."""
+
+    version("2023.04")
+    version("2022.10")
+    depends_on("openjdk")
+
+
+class Openjdk(Package):
+    """The Java Development Kit."""
+
+    version("17.0.5_8")
+    version("11.0.17_8")
+
+
+class Dyninst(CMakePackage):
+    """Tools for binary instrumentation, analysis, and modification."""
+
+    version("12.3.0")
+    version("12.1.0")
+    version("11.0.1")
+
+    variant("openmp", default=True, description="OpenMP support for parallel parsing")
+    variant("static", default=False, description="Also build static libraries")
+    depends_on("boost@1.70:")
+    depends_on("intel-tbb")
+    depends_on("elfutils")
+    depends_on("libiberty")
+    conflicts("%intel", msg="dyninst requires gcc or clang")
+
+
+class Libiberty(AutotoolsPackage):
+    """GNU libiberty utility functions."""
+
+    version("2.40")
+    version("2.37")
+
+
+class Tau(Package):
+    """Tuning and Analysis Utilities: profiling and tracing toolkit."""
+
+    version("2.32.1")
+    version("2.31.1")
+
+    variant("mpi", default=True, description="MPI measurement")
+    variant("python", default=False, description="Python instrumentation")
+    variant("cuda", default=False, description="CUDA measurement")
+    variant("papi", default=True, description="PAPI counters")
+    variant("otf2", default=True, description="OTF2 trace output")
+    depends_on("mpi", when="+mpi")
+    depends_on("python", when="+python")
+    depends_on("cuda", when="+cuda")
+    depends_on("papi", when="+papi")
+    depends_on("otf2", when="+otf2")
+    depends_on("pdt")
+    depends_on("binutils")
+    depends_on("zlib")
+
+
+class Pdt(AutotoolsPackage):
+    """Program Database Toolkit for source analysis."""
+
+    version("3.25.2")
+    version("3.25.1")
+
+
+class Otf2(AutotoolsPackage):
+    """Open Trace Format 2."""
+
+    version("3.0.2")
+    version("2.3")
+    depends_on("python", type="build")
+
+
+class Gperftools(AutotoolsPackage):
+    """Fast malloc and performance analysis tools from Google."""
+
+    version("2.10")
+    version("2.9.1")
+    variant("libunwind", default=True, description="Use libunwind for stack traces")
+    depends_on("libunwind", when="+libunwind")
+
+
+class Memkind(AutotoolsPackage):
+    """User-extensible heap manager for heterogeneous memory."""
+
+    version("1.14.0")
+    version("1.13.0")
+    depends_on("numactl")
+    conflicts("target=aarch64:", msg="memkind requires x86 or ppc NUMA semantics here")
+
+
+class Umap(CMakePackage):
+    """User-space mmap page management."""
+
+    version("2.1.0")
+    version("2.0.0")
+
+
+class Metall(CMakePackage):
+    """Persistent memory allocator on memory-mapped files."""
+
+    version("0.25")
+    version("0.23.1")
+    depends_on("boost@1.64:")
+
+
+class Legion(CMakePackage):
+    """Data-centric parallel programming system."""
+
+    version("23.03.0")
+    version("22.12.0")
+
+    variant("cuda", default=False, description="CUDA support")
+    variant("openmp", default=True, description="OpenMP processors")
+    variant("hdf5", default=False, description="HDF5 attach support")
+    variant("network", default="gasnet", values=("gasnet", "mpi", "none"), description="Networking layer")
+    depends_on("gasnet", when="network=gasnet")
+    depends_on("mpi", when="network=mpi")
+    depends_on("cuda", when="+cuda")
+    depends_on("hdf5", when="+hdf5")
+    depends_on("zlib")
+    depends_on("python", type="build")
+
+
+class Hpx(CMakePackage):
+    """C++ standard library for concurrency and parallelism."""
+
+    version("1.9.0")
+    version("1.8.1")
+
+    variant("cuda", default=False, description="CUDA support")
+    variant("networking", default="mpi", values=("mpi", "tcp", "none"), description="Parcelport")
+    variant("examples", default=False, description="Build examples")
+    depends_on("boost@1.71:")
+    depends_on("hwloc")
+    depends_on("gperftools")
+    depends_on("asio")
+    depends_on("mpi", when="networking=mpi")
+    depends_on("cuda", when="+cuda")
+    conflicts("%gcc@:8", when="@1.9:", msg="HPX 1.9 requires C++17")
+
+
+class Asio(AutotoolsPackage):
+    """C++ library for network and low-level I/O programming."""
+
+    version("1.28.0")
+    version("1.24.0")
+
+
+class Charliecloud(AutotoolsPackage):
+    """Unprivileged containers for HPC."""
+
+    version("0.32")
+    version("0.30")
+    variant("docs", default=False, description="Build documentation")
+    depends_on("python@3.6:")
+    depends_on("py-pip", type="build")
+
+
+class Nrm(Package):
+    """Node Resource Manager."""
+
+    version("0.7.0")
+    version("0.6.0")
+    depends_on("python")
+    depends_on("py-numpy")
+    depends_on("py-pyyaml")
+    depends_on("libzmq")
+
+
+class Turbine(AutotoolsPackage):
+    """Swift/T runtime for extreme-scale workflows."""
+
+    version("1.3.0")
+    version("1.2.3")
+    depends_on("adlbx")
+    depends_on("mpi")
+    depends_on("tcl")
+    depends_on("zsh", type="build")
+    depends_on("swig", type="build")
+
+
+class Adlbx(AutotoolsPackage):
+    """Asynchronous Dynamic Load Balancing library (eXtended)."""
+
+    version("1.0.0")
+    version("0.9.2")
+    depends_on("exmcutils")
+    depends_on("mpi")
+
+
+class Exmcutils(AutotoolsPackage):
+    """ExM C utilities library."""
+
+    version("0.6.0")
+    version("0.5.7")
+
+
+class Tcl(AutotoolsPackage):
+    """Tool Command Language."""
+
+    version("8.6.12")
+    version("8.6.11")
+    depends_on("zlib")
+
+
+class Zsh(AutotoolsPackage):
+    """The Z shell."""
+
+    version("5.8.1")
+    version("5.8")
+    depends_on("ncurses")
+    depends_on("pcre2")
+
+
+class Papyrus(CMakePackage):
+    """Parallel aggregate persistent storage (ECP)."""
+
+    version("1.0.2")
+    version("1.0.1")
+    depends_on("mpi")
+
+
+class Aml(AutotoolsPackage):
+    """Memory management library for explicit memory tiers."""
+
+    version("0.2.1")
+    version("0.2.0")
+    variant("cuda", default=False, description="CUDA memory tier")
+    depends_on("numactl")
+    depends_on("cuda", when="+cuda")
+
+
+class Bolt(CMakePackage):
+    """OpenMP runtime over lightweight threads (Argobots)."""
+
+    version("2.0")
+    version("1.0.1")
+    depends_on("argobots")
+    depends_on("autoconf", type="build")
+    depends_on("automake", type="build")
+
+
+class Libquo(AutotoolsPackage):
+    """Dynamic process binding for MPI+X applications."""
+
+    version("1.3.1")
+    version("1.3")
+    depends_on("mpi")
+    depends_on("libtool", type="build")
+
+
+class Loki(Package):
+    """C++ design-pattern template library."""
+
+    version("0.1.7")

@@ -1,0 +1,143 @@
+"""Compilers: names, versions, and the targets they can generate code for.
+
+The paper's example: ``gcc@4.8.3`` cannot generate optimized instructions for
+``skylake`` processors, so the solver must not pair them.  We model that with
+a per-compiler "maximum supported generation" per target family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.spack.architecture import Target, TargetRegistry, TARGETS
+from repro.spack.errors import SpackError
+from repro.spack.version import Version
+
+
+@dataclass(frozen=True)
+class Compiler:
+    """One compiler at one version, e.g. ``gcc@11.2.0``."""
+
+    name: str
+    version: Version
+    # maximum microarchitecture generation supported, per target family;
+    # families not listed are unsupported by this compiler
+    max_generation: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def spec_string(self) -> str:
+        return f"{self.name}@{self.version}"
+
+    def supports_target(self, target: Target) -> bool:
+        for family, generation in self.max_generation:
+            if family == target.family:
+                return target.generation <= generation
+        return False
+
+    def __str__(self):
+        return self.spec_string
+
+
+def _generation(registry: TargetRegistry, name: str) -> int:
+    return registry.get(name).generation
+
+
+def default_compilers(registry: Optional[TargetRegistry] = None) -> List[Compiler]:
+    """A realistic default compiler toolbox.
+
+    Old compilers support only old microarchitectures; new ones support
+    everything the registry knows about.
+    """
+    registry = registry or TARGETS
+    newest_x86 = max(t.generation for t in registry.family("x86_64"))
+    newest_ppc = max(t.generation for t in registry.family("ppc64le"))
+    newest_arm = max(t.generation for t in registry.family("aarch64"))
+
+    def gens(x86: int, ppc: int, arm: int) -> Tuple[Tuple[str, int], ...]:
+        return (("x86_64", x86), ("ppc64le", ppc), ("aarch64", arm))
+
+    haswell = _generation(registry, "haswell")
+    broadwell = _generation(registry, "broadwell")
+    power8 = _generation(registry, "power8le")
+
+    return [
+        Compiler("gcc", Version("11.2.0"), gens(newest_x86, newest_ppc, newest_arm)),
+        Compiler("gcc", Version("10.3.1"), gens(newest_x86, newest_ppc, newest_arm)),
+        Compiler("gcc", Version("8.5.0"), gens(broadwell, newest_ppc, 1)),
+        Compiler("gcc", Version("4.8.3"), gens(haswell, power8, 0)),
+        Compiler("clang", Version("14.0.6"), gens(newest_x86, newest_ppc, newest_arm)),
+        Compiler("clang", Version("12.0.1"), gens(newest_x86, newest_ppc, newest_arm)),
+        Compiler("intel", Version("2021.4.0"), (("x86_64", newest_x86),)),
+        Compiler("xl", Version("16.1.1"), (("ppc64le", newest_ppc),)),
+    ]
+
+
+class CompilerRegistry:
+    """The compilers available for a solve, with preference weights.
+
+    Weight 0 is the most preferred compiler (by default the newest version of
+    the preferred compiler name); higher weights are less preferred.  This
+    feeds the "non-preferred compilers" criterion (Table II, criterion 13).
+    """
+
+    def __init__(
+        self,
+        compilers: Optional[Iterable[Compiler]] = None,
+        preferred: str = "gcc",
+        registry: Optional[TargetRegistry] = None,
+    ):
+        self.registry = registry or TARGETS
+        self.compilers: List[Compiler] = list(compilers) if compilers is not None else default_compilers(self.registry)
+        if not self.compilers:
+            raise SpackError("a compiler registry needs at least one compiler")
+        self.preferred = preferred
+
+    def __iter__(self):
+        return iter(self.compilers)
+
+    def __len__(self):
+        return len(self.compilers)
+
+    def get(self, name: str, version: Optional[str] = None) -> Compiler:
+        candidates = [c for c in self.compilers if c.name == name]
+        if version is not None:
+            wanted = Version(version)
+            candidates = [c for c in candidates if c.version == wanted or wanted.is_prefix_of(c.version)]
+        if not candidates:
+            raise SpackError(f"no such compiler: {name}{'@' + version if version else ''}")
+        return max(candidates, key=lambda c: c.version)
+
+    def by_name(self, name: str) -> List[Compiler]:
+        return sorted((c for c in self.compilers if c.name == name), key=lambda c: c.version, reverse=True)
+
+    def weights(self) -> Dict[Tuple[str, str], int]:
+        """(name, version) -> preference weight; 0 is most preferred."""
+        def sort_key(compiler: Compiler):
+            return (compiler.name != self.preferred, compiler.name, _NegVersion(compiler.version))
+
+        ordered = sorted(self.compilers, key=sort_key)
+        return {(c.name, str(c.version)): weight for weight, c in enumerate(ordered)}
+
+    def default(self) -> Compiler:
+        ordered = sorted(self.weights().items(), key=lambda item: item[1])
+        name, version = ordered[0][0]
+        return self.get(name, version)
+
+    def supported_targets(self, compiler: Compiler, family: str) -> List[Target]:
+        return [t for t in self.registry.family(family) if compiler.supports_target(t)]
+
+
+class _NegVersion:
+    """Sort helper: newest version first."""
+
+    __slots__ = ("version",)
+
+    def __init__(self, version: Version):
+        self.version = version
+
+    def __lt__(self, other: "_NegVersion") -> bool:
+        return other.version < self.version
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _NegVersion) and self.version == other.version

@@ -1,0 +1,25 @@
+"""Concretizers: the ASP-based solver (the paper's contribution) and the
+original greedy baseline.
+
+* :class:`repro.spack.concretize.concretizer.Concretizer` — drives the ASP
+  pipeline: encode facts (setup), load the logic program, ground, solve,
+  extract a concrete Spec DAG (Section V of the paper), with optional reuse of
+  installed packages (Section VI).
+* :class:`repro.spack.concretize.original.OriginalConcretizer` — the greedy
+  fixed-point algorithm Spack used before, which is neither complete nor
+  optimal (Section III-C); used as the baseline in Figure 7h and in the
+  usability comparisons of Section VI-B.
+"""
+
+from repro.spack.concretize.concretizer import ConcretizationResult, Concretizer
+from repro.spack.concretize.criteria import CRITERIA, Criterion, describe_costs
+from repro.spack.concretize.original import OriginalConcretizer
+
+__all__ = [
+    "CRITERIA",
+    "ConcretizationResult",
+    "Concretizer",
+    "Criterion",
+    "OriginalConcretizer",
+    "describe_costs",
+]

@@ -1,0 +1,157 @@
+"""The ASP-based concretizer (the paper's contribution).
+
+The pipeline follows Section V of the paper:
+
+1. **setup** — generate facts for all possible dependencies and installs;
+2. **load** — load the logic program encoding the software model;
+3. **ground** — ground the program against the facts;
+4. **solve** — search for the best stable model;
+5. build an optimal concrete DAG from the model.
+
+Per-phase timings are recorded exactly as in Section VII so the benchmark
+harness can reproduce Figures 7a–7h.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.asp.configs import SolverConfig
+from repro.asp.control import Control, Model
+from repro.spack.architecture import Platform, default_platform
+from repro.spack.compilers import CompilerRegistry
+from repro.spack.concretize.encoder import ProblemEncoder
+from repro.spack.concretize.extract import built_and_reused, extract_specs, root_specs
+from repro.spack.concretize.logic import logic_program
+from repro.spack.errors import UnsatisfiableSpecError
+from repro.spack.repo import Repository, builtin_repository
+from repro.spack.spec import Spec
+from repro.spack.spec_parser import parse_spec
+
+
+@dataclass
+class ConcretizationResult:
+    """Everything a caller may want to know about one concretization."""
+
+    roots: List[Spec]
+    specs: Dict[str, Spec]
+    costs: Dict[int, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    statistics: Dict[str, object] = field(default_factory=dict)
+    built: Set[str] = field(default_factory=set)
+    reused: Set[str] = field(default_factory=set)
+    model: Optional[Model] = None
+
+    @property
+    def spec(self) -> Spec:
+        """The (single) concrete root spec."""
+        return self.roots[0]
+
+    @property
+    def number_of_builds(self) -> int:
+        return len(self.built)
+
+    @property
+    def number_reused(self) -> int:
+        return len(self.reused)
+
+    def summary(self) -> str:
+        lines = [f"concretized {len(self.specs)} nodes "
+                 f"({self.number_of_builds} to build, {self.number_reused} reused)"]
+        for root in self.roots:
+            lines.append(root.tree())
+        return "\n".join(lines)
+
+
+class Concretizer:
+    """The new, complete, optimizing concretizer."""
+
+    def __init__(
+        self,
+        repo: Optional[Repository] = None,
+        platform: Optional[Platform] = None,
+        compilers: Optional[CompilerRegistry] = None,
+        store=None,
+        reuse: bool = False,
+        config: Optional[SolverConfig] = None,
+    ):
+        self.repo = repo or builtin_repository()
+        self.platform = platform or default_platform()
+        self.compilers = compilers or CompilerRegistry()
+        self.store = store
+        self.reuse = reuse
+        self.config = config or SolverConfig.preset("tweety")
+
+    # ------------------------------------------------------------------
+
+    def _as_specs(self, specs: Sequence[Union[str, Spec]]) -> List[Spec]:
+        parsed: List[Spec] = []
+        for spec in specs:
+            parsed.append(parse_spec(spec) if isinstance(spec, str) else spec.copy())
+        return parsed
+
+    def solve(self, specs: Sequence[Union[str, Spec]]) -> ConcretizationResult:
+        """Concretize one or more root specs together (unified concretization)."""
+        abstract = self._as_specs(specs)
+        control = Control(config=self.config)
+
+        # setup: generate the problem facts
+        control.timer.start("setup")
+        encoder = ProblemEncoder(
+            self.repo,
+            platform=self.platform,
+            compilers=self.compilers,
+            store=self.store,
+            reuse=self.reuse,
+        )
+        facts = encoder.encode(abstract)
+        control.timer.stop("setup")
+
+        # load / ground / solve
+        control.load(logic_program())
+        control.add_facts(facts)
+        control.ground()
+        result = control.solve()
+
+        statistics: Dict[str, object] = {
+            "encoding": encoder.stats.as_dict(),
+            **result.statistics,
+        }
+
+        if not result.satisfiable:
+            requested = ", ".join(str(s) for s in abstract)
+            raise UnsatisfiableSpecError(
+                f"no valid concretization exists for: {requested}"
+            )
+
+        specs_by_name = extract_specs(result.model)
+        roots = root_specs(result.model, specs_by_name)
+        built, reused = built_and_reused(result.model)
+
+        return ConcretizationResult(
+            roots=roots,
+            specs=specs_by_name,
+            costs=result.costs,
+            timings=result.timings,
+            statistics=statistics,
+            built=built,
+            reused=reused,
+            model=result.model,
+        )
+
+    def concretize(self, spec: Union[str, Spec]) -> ConcretizationResult:
+        """Concretize a single abstract spec."""
+        return self.solve([spec])
+
+
+def concretize(
+    spec: Union[str, Spec],
+    repo: Optional[Repository] = None,
+    reuse: bool = False,
+    store=None,
+    **kwargs,
+) -> ConcretizationResult:
+    """Module-level convenience wrapper (mirrors ``spack spec``)."""
+    concretizer = Concretizer(repo=repo, reuse=reuse, store=store, **kwargs)
+    return concretizer.concretize(spec)

@@ -1,0 +1,111 @@
+"""The optimization criteria of Table II and the reuse buckets of Figure 5.
+
+The paper lists 15 minimization criteria, evaluated lexicographically
+(criterion 1 is the most important).  With reuse enabled every criterion is
+split into two buckets: one for packages that must be *built* and one for
+packages *reused* from the store, with the total number of builds in between
+(Figure 5):
+
+    [build bucket: criteria 1..15]  >  [number of builds]  >  [reuse bucket: criteria 1..15]
+
+We map criterion ``i`` onto ASP priority level ``16 - i`` for the reuse bucket
+and ``200 + 16 - i`` for the build bucket, and put the number of builds at
+level ``100`` — the same shape as the paper's Figure 5 (criteria at 203..201,
+builds at 100, reused criteria at 3..1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: offset added to a criterion's level when the package must be built
+BUILD_PRIORITY_OFFSET = 200
+#: priority level of the "number of builds" objective
+NUMBER_OF_BUILDS_LEVEL = 100
+#: number of criteria in Table II
+NUM_CRITERIA = 15
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One row of Table II."""
+
+    number: int  # 1 = highest priority
+    name: str
+    scope: str  # "roots", "non-roots", or "all"
+
+    @property
+    def level(self) -> int:
+        """ASP priority level of the reuse bucket for this criterion."""
+        return NUM_CRITERIA + 1 - self.number
+
+    @property
+    def build_level(self) -> int:
+        """ASP priority level of the build bucket for this criterion."""
+        return self.level + BUILD_PRIORITY_OFFSET
+
+
+#: Table II, in priority order.
+CRITERIA: Tuple[Criterion, ...] = (
+    Criterion(1, "Deprecated versions used", "all"),
+    Criterion(2, "Version oldness", "roots"),
+    Criterion(3, "Non-default variant values", "roots"),
+    Criterion(4, "Non-preferred providers", "roots"),
+    Criterion(5, "Unused default variant values", "roots"),
+    Criterion(6, "Non-default variant values", "non-roots"),
+    Criterion(7, "Non-preferred providers", "non-roots"),
+    Criterion(8, "Compiler mismatches", "all"),
+    Criterion(9, "OS mismatches", "all"),
+    Criterion(10, "Non-preferred OS's", "all"),
+    Criterion(11, "Version oldness", "non-roots"),
+    Criterion(12, "Unused default variant values", "non-roots"),
+    Criterion(13, "Non-preferred compilers", "all"),
+    Criterion(14, "Target mismatches", "all"),
+    Criterion(15, "Non-preferred targets", "all"),
+)
+
+
+def criterion_by_level(level: int) -> Optional[Criterion]:
+    """The criterion whose reuse- or build-bucket level is ``level``."""
+    for criterion in CRITERIA:
+        if level in (criterion.level, criterion.build_level):
+            return criterion
+    return None
+
+
+def describe_costs(costs: Dict[int, int]) -> List[str]:
+    """Render a solver cost vector as human-readable lines.
+
+    ``costs`` maps ASP priority levels to objective values (what
+    :class:`repro.asp.control.SolveResult` reports); the output lists the
+    build bucket first, then the number of builds, then the reuse bucket —
+    the same ordering as Figure 5.
+    """
+    lines: List[str] = []
+    for level in sorted(costs, reverse=True):
+        value = costs[level]
+        if level == NUMBER_OF_BUILDS_LEVEL:
+            lines.append(f"[{level:>3}] number of builds: {value}")
+            continue
+        criterion = criterion_by_level(level)
+        if criterion is None:
+            lines.append(f"[{level:>3}] (auxiliary objective): {value}")
+            continue
+        bucket = "build" if level >= BUILD_PRIORITY_OFFSET else "reuse"
+        scope = f" ({criterion.scope})" if criterion.scope != "all" else ""
+        lines.append(
+            f"[{level:>3}] {criterion.number:>2}. {criterion.name}{scope} [{bucket}]: {value}"
+        )
+    return lines
+
+
+def cost_summary(costs: Dict[int, int]) -> Dict[str, int]:
+    """Aggregate a cost vector into named totals used by tests and benchmarks."""
+    summary: Dict[str, int] = {"number_of_builds": costs.get(NUMBER_OF_BUILDS_LEVEL, 0)}
+    for criterion in CRITERIA:
+        key = f"{criterion.number:02d}_{criterion.name.lower().replace(' ', '_')}"
+        if criterion.scope != "all":
+            key += f"_{criterion.scope.replace('-', '_')}"
+        summary[key] = costs.get(criterion.build_level, 0) + costs.get(criterion.level, 0)
+    return summary

@@ -1,0 +1,426 @@
+"""Fact generation ("setup" phase): packages + specs + store -> ASP facts.
+
+This is the translation layer described in Section V of the paper: package
+directives become *generalized conditions* (``condition`` /
+``condition_requirement`` / ``imposed_constraint`` facts), the command-line
+spec becomes a trivially-true condition imposing the user's constraints, and
+— when reuse is enabled — every installed package in the store becomes an
+``installed_hash`` fact whose metadata is encoded as imposed constraints keyed
+by the hash (Section VI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.spack.architecture import Platform, TARGETS, default_platform
+from repro.spack.compilers import CompilerRegistry
+from repro.spack.errors import SpackError
+from repro.spack.repo import Repository
+from repro.spack.spec import Spec
+from repro.spack.version import Version, parse_version_constraint
+
+Fact = Tuple
+
+
+class EncodingStatistics:
+    """Bookkeeping the benchmarks report (fact counts, possible dependencies)."""
+
+    def __init__(self):
+        self.possible_packages = 0
+        self.possible_dependencies = 0
+        self.facts = 0
+        self.conditions = 0
+        self.installed_candidates = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "possible_packages": self.possible_packages,
+            "possible_dependencies": self.possible_dependencies,
+            "facts": self.facts,
+            "conditions": self.conditions,
+            "installed_candidates": self.installed_candidates,
+        }
+
+
+class ProblemEncoder:
+    """Builds the fact list for one concretization problem."""
+
+    def __init__(
+        self,
+        repo: Repository,
+        platform: Optional[Platform] = None,
+        compilers: Optional[CompilerRegistry] = None,
+        store=None,
+        reuse: bool = False,
+    ):
+        self.repo = repo
+        self.platform = platform or default_platform()
+        self.compilers = compilers or CompilerRegistry()
+        self.store = store
+        self.reuse = reuse
+
+        self.facts: List[Fact] = []
+        self.stats = EncodingStatistics()
+        self._condition_counter = 0
+        self._version_constraints: Dict[str, Set[str]] = {}
+        self._compiler_constraints: Dict[str, Set[str]] = {}
+        self._extra_versions: Dict[str, Set[str]] = {}
+        self._possible: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def encode(self, specs: Sequence[Spec]) -> List[Fact]:
+        """Produce all facts for concretizing ``specs`` together."""
+        self._determine_possible_packages(specs)
+        self._encode_platform()
+        self._encode_compilers()
+
+        installed = self._relevant_installed_specs()
+        self._collect_installed_versions(installed)
+
+        for spec in specs:
+            self._encode_input_spec(spec)
+        for name in sorted(self._possible):
+            if self.repo.exists(name):
+                self._encode_package(name)
+        self._encode_virtuals()
+        for installed_spec in installed:
+            self._encode_installed(installed_spec)
+
+        # version_possible / compiler_version_possible facts must come last:
+        # every constraint string seen anywhere has been registered by now.
+        self._encode_version_constraints()
+        self._encode_compiler_constraints()
+
+        self.stats.facts = len(self.facts)
+        return self.facts
+
+    # ------------------------------------------------------------------
+    # Possible packages
+    # ------------------------------------------------------------------
+
+    def _determine_possible_packages(self, specs: Sequence[Spec]):
+        roots: List[str] = []
+        for spec in specs:
+            if spec.name is None:
+                raise SpackError("cannot concretize an anonymous spec")
+            roots.append(spec.name)
+            roots.extend(spec.dependencies)
+        real_roots = [name for name in roots if self.repo.exists(name) or self.repo.is_virtual(name)]
+        self._possible = self.repo.possible_dependencies(*real_roots)
+        self.stats.possible_packages = len(self._possible)
+        root_names = {spec.name for spec in specs}
+        self.stats.possible_dependencies = len(self._possible - root_names)
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+
+    def _fact(self, *atom):
+        self.facts.append(tuple(atom))
+
+    def _new_condition(self) -> int:
+        self._condition_counter += 1
+        self.stats.conditions += 1
+        self._fact("condition", self._condition_counter)
+        return self._condition_counter
+
+    def _register_version_constraint(self, package: str, constraint: str):
+        if constraint:
+            self._version_constraints.setdefault(package, set()).add(constraint)
+
+    def _register_compiler_constraint(self, compiler: str, constraint: str):
+        if constraint:
+            self._compiler_constraints.setdefault(compiler, set()).add(constraint)
+
+    # -- spec -> requirement / imposition translation ------------------------
+
+    def _target_requirement(self, package: str, target: str) -> Fact:
+        base = target.rstrip(":")
+        if TARGETS.is_family(base):
+            return ("node_target_family", package, base)
+        return ("node_target", package, target)
+
+    def _spec_requirements(self, package: str, spec: Optional[Spec]) -> List[Fact]:
+        """Requirements (attr tuples) for "``package`` matches ``spec``"."""
+        if spec is None:
+            return []
+        requirements: List[Fact] = []
+        if not spec.versions.is_any:
+            constraint = str(spec.versions)
+            self._register_version_constraint(package, constraint)
+            requirements.append(("version_satisfies", package, constraint))
+        for variant, value in spec.variants.items():
+            for single in value if isinstance(value, tuple) else (value,):
+                requirements.append(("variant_value", package, variant, single))
+        if spec.compiler:
+            requirements.append(("node_compiler", package, spec.compiler))
+            if not spec.compiler_versions.is_any:
+                constraint = str(spec.compiler_versions)
+                self._register_compiler_constraint(spec.compiler, constraint)
+                requirements.append(
+                    ("node_compiler_version_satisfies", package, spec.compiler, constraint)
+                )
+        if spec.os:
+            requirements.append(("node_os", package, spec.os))
+        if spec.target:
+            requirements.append(self._target_requirement(package, spec.target))
+        for dep_name in spec.dependencies:
+            # "^openblas" inside a when= clause: the dependency must appear in
+            # the subtree below this package.
+            requirements.append(("path", package, dep_name))
+            nested = self._spec_requirements(dep_name, spec.dependencies[dep_name])
+            requirements.extend(nested)
+        return requirements
+
+    def _spec_impositions(self, package: str, spec: Spec, is_virtual: bool) -> List[Fact]:
+        """Imposed constraints for "``package`` must satisfy ``spec``"."""
+        imposed: List[Fact] = []
+        if not spec.versions.is_any:
+            constraint = str(spec.versions)
+            if is_virtual:
+                imposed.append(("provider_version_satisfies", package, constraint))
+            else:
+                self._register_version_constraint(package, constraint)
+                imposed.append(("version_satisfies", package, constraint))
+        for variant, value in spec.variants.items():
+            if is_virtual:
+                continue  # variant constraints through virtuals are not modeled
+            for single in value if isinstance(value, tuple) else (value,):
+                imposed.append(("variant_value", package, variant, single))
+        if spec.compiler:
+            imposed.append(("node_compiler", package, spec.compiler))
+            if not spec.compiler_versions.is_any:
+                constraint = str(spec.compiler_versions)
+                self._register_compiler_constraint(spec.compiler, constraint)
+                imposed.append(
+                    ("node_compiler_version_satisfies", package, spec.compiler, constraint)
+                )
+        if spec.os:
+            imposed.append(("node_os", package, spec.os))
+        if spec.target:
+            imposed.append(self._target_requirement(package, spec.target))
+        return imposed
+
+    # ------------------------------------------------------------------
+    # Input (command line) specs
+    # ------------------------------------------------------------------
+
+    def _encode_input_spec(self, spec: Spec):
+        self._fact("root", spec.name)
+        condition = self._new_condition()
+        self._fact("imposed_constraint", condition, "node", spec.name)
+        for imposed in self._spec_impositions(spec.name, spec, self.repo.is_virtual(spec.name)):
+            self._fact("imposed_constraint", condition, *imposed)
+
+        for dep_name, dep_spec in spec.dependencies.items():
+            dep_condition = self._new_condition()
+            if self.repo.is_virtual(dep_name):
+                # Constraining a virtual on the command line constrains its
+                # eventual provider.
+                for imposed in self._spec_impositions(dep_name, dep_spec, True):
+                    self._fact("imposed_constraint", dep_condition, *imposed)
+                continue
+            self._fact("imposed_constraint", dep_condition, "node", dep_name)
+            for imposed in self._spec_impositions(dep_name, dep_spec, False):
+                self._fact("imposed_constraint", dep_condition, *imposed)
+
+    # ------------------------------------------------------------------
+    # Platform / compilers
+    # ------------------------------------------------------------------
+
+    def _encode_platform(self):
+        weights = self.platform.target_weights()
+        for target in self.platform.targets():
+            self._fact("target", target.name)
+            self._fact("target_family", target.name, target.family)
+            self._fact("target_weight", target.name, weights[target.name])
+        for os_name, weight in self.platform.os_weights().items():
+            self._fact("os", os_name)
+            self._fact("os_weight", os_name, weight)
+
+    def _encode_compilers(self):
+        weights = self.compilers.weights()
+        platform_targets = {t.name for t in self.platform.targets()}
+        for compiler in self.compilers:
+            version = str(compiler.version)
+            self._fact("compiler", compiler.name, version)
+            self._fact("compiler_weight", compiler.name, version, weights[(compiler.name, version)])
+            for target in self.compilers.supported_targets(compiler, self.platform.family):
+                if target.name in platform_targets:
+                    self._fact("compiler_supports_target", compiler.name, version, target.name)
+
+    # ------------------------------------------------------------------
+    # Packages
+    # ------------------------------------------------------------------
+
+    def _encode_package(self, name: str):
+        cls = self.repo.get(name)
+        self._encode_versions(name, cls)
+        self._encode_variants(name, cls)
+        self._encode_dependencies(name, cls)
+        self._encode_conflicts(name, cls)
+        self._encode_provides(name, cls)
+
+    def _encode_versions(self, name: str, cls):
+        weights = cls.version_weights()
+        known = {str(v) for v in weights}
+        next_weight = len(weights)
+        for version, weight in weights.items():
+            self._fact("version_declared", name, str(version), weight)
+        for extra in sorted(self._extra_versions.get(name, ())):
+            if extra not in known:
+                self._fact("version_declared", name, extra, next_weight)
+                next_weight += 1
+        for version, decl in cls.versions.items():
+            if decl.deprecated:
+                self._fact("version_deprecated", name, str(version))
+
+    def _encode_variants(self, name: str, cls):
+        for variant_name, decl in cls.variants.items():
+            self._fact("variant", name, variant_name)
+            if decl.multi:
+                self._fact("variant_multi", name, variant_name)
+            else:
+                self._fact("variant_single", name, variant_name)
+            defaults = decl.default if isinstance(decl.default, tuple) else (decl.default,)
+            for default in defaults:
+                self._fact("variant_default", name, variant_name, default)
+            for value in decl.values:
+                self._fact("variant_possible_value", name, variant_name, value)
+
+    def _encode_dependencies(self, name: str, cls):
+        for dependency in cls.dependencies:
+            dep_name = dependency.name
+            is_virtual = self.repo.is_virtual(dep_name)
+            if not is_virtual and not self.repo.exists(dep_name):
+                continue  # dependency on a package missing from the repository
+            condition = self._new_condition()
+            self._fact("condition_requirement", condition, "node", name)
+            for requirement in self._spec_requirements(name, dependency.when):
+                self._fact("condition_requirement", condition, *requirement)
+            self._fact("dependency_condition", condition, name, dep_name)
+            for imposed in self._spec_impositions(dep_name, dependency.spec, is_virtual):
+                self._fact("imposed_constraint", condition, *imposed)
+            # Constraints on transitive dependencies inside the dependency
+            # spec (e.g. depends_on("hdf5+mpi ^zlib@1.2.8:")).
+            for sub_name, sub_spec in dependency.spec.dependencies.items():
+                if not self.repo.exists(sub_name):
+                    continue
+                self._fact("imposed_constraint", condition, "node", sub_name)
+                for imposed in self._spec_impositions(sub_name, sub_spec, False):
+                    self._fact("imposed_constraint", condition, *imposed)
+
+    def _encode_conflicts(self, name: str, cls):
+        for conflict in cls.conflict_decls:
+            condition = self._new_condition()
+            self._fact("condition_requirement", condition, "node", name)
+            for requirement in self._spec_requirements(name, conflict.when):
+                self._fact("condition_requirement", condition, *requirement)
+            for requirement in self._spec_requirements(name, conflict.spec):
+                self._fact("condition_requirement", condition, *requirement)
+            self._fact("conflict", condition, name)
+
+    def _encode_provides(self, name: str, cls):
+        for provided in cls.provided:
+            virtual = provided.name
+            condition = self._new_condition()
+            self._fact("condition_requirement", condition, "node", name)
+            for requirement in self._spec_requirements(name, provided.when):
+                self._fact("condition_requirement", condition, *requirement)
+            self._fact("provider_condition", condition, name, virtual)
+
+    def _encode_virtuals(self):
+        for virtual in self.repo.virtuals():
+            providers = [p for p in self.repo.providers_for(virtual) if p in self._possible]
+            if not providers:
+                continue
+            self._fact("virtual", virtual)
+            weights = self.repo.provider_weights(virtual)
+            for provider in providers:
+                self._fact("possible_provider", virtual, provider, weights[provider])
+
+    # ------------------------------------------------------------------
+    # Installed packages (reuse)
+    # ------------------------------------------------------------------
+
+    def _relevant_installed_specs(self) -> List[Spec]:
+        if not self.reuse or self.store is None:
+            return []
+        relevant = []
+        for spec in self.store.all_specs():
+            if spec.name in self._possible:
+                relevant.append(spec)
+        self.stats.installed_candidates = len(relevant)
+        return relevant
+
+    def _collect_installed_versions(self, installed: Iterable[Spec]):
+        for spec in installed:
+            concrete = spec.versions.concrete
+            if concrete is not None:
+                self._extra_versions.setdefault(spec.name, set()).add(str(concrete))
+
+    def _encode_installed(self, spec: Spec):
+        digest = spec.dag_hash()
+        name = spec.name
+        self._fact("installed_hash", name, digest)
+        self._fact("imposed_constraint", digest, "node", name)
+        concrete = spec.versions.concrete
+        if concrete is not None:
+            self._fact("imposed_constraint", digest, "version", name, str(concrete))
+        for variant, value in spec.variants.items():
+            for single in value if isinstance(value, tuple) else (value,):
+                self._fact("imposed_constraint", digest, "variant_value", name, variant, single)
+        if spec.compiler:
+            self._fact("imposed_constraint", digest, "node_compiler", name, spec.compiler)
+            compiler_version = spec.compiler_versions.concrete
+            if compiler_version is not None:
+                self._fact(
+                    "imposed_constraint",
+                    digest,
+                    "node_compiler_version",
+                    name,
+                    spec.compiler,
+                    str(compiler_version),
+                )
+        if spec.os:
+            self._fact("imposed_constraint", digest, "node_os", name, spec.os)
+        if spec.target:
+            self._fact("imposed_constraint", digest, "node_target", name, spec.target)
+        for dep_name, dep in spec.dependencies.items():
+            self._fact("imposed_constraint", digest, "depends_on", name, dep_name)
+            self._fact("imposed_constraint", digest, "hash", dep_name, dep.dag_hash())
+
+    # ------------------------------------------------------------------
+    # Deferred constraint-membership facts
+    # ------------------------------------------------------------------
+
+    def _known_versions(self, package: str) -> List[str]:
+        versions: List[str] = []
+        if self.repo.exists(package):
+            versions.extend(str(v) for v in self.repo.get(package).declared_versions())
+        versions.extend(sorted(self._extra_versions.get(package, ())))
+        return versions
+
+    def _encode_version_constraints(self):
+        for package, constraints in sorted(self._version_constraints.items()):
+            known = self._known_versions(package)
+            for constraint in sorted(constraints):
+                constraint_list = parse_version_constraint(constraint)
+                for version_string in known:
+                    if constraint_list.includes(Version(version_string)):
+                        self._fact("version_possible", package, constraint, version_string)
+
+    def _encode_compiler_constraints(self):
+        for compiler_name, constraints in sorted(self._compiler_constraints.items()):
+            versions = [c.version for c in self.compilers.by_name(compiler_name)]
+            for constraint in sorted(constraints):
+                constraint_list = parse_version_constraint(constraint)
+                for version in versions:
+                    if constraint_list.includes(version):
+                        self._fact(
+                            "compiler_version_possible", compiler_name, constraint, str(version)
+                        )

@@ -1,0 +1,90 @@
+"""Turn a stable model back into a concrete Spec DAG (step 4 of Section V)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.asp.control import Model
+from repro.spack.errors import SpackError
+from repro.spack.spec import Spec
+from repro.spack.version import VersionList, Version
+
+
+def extract_specs(model: Model) -> Dict[str, Spec]:
+    """Build the concrete Spec for every node in the model, wired into a DAG.
+
+    Returns a dict keyed by package name (the solver produces a single node
+    per package, exactly like Spack's unified concretization).
+    """
+    specs: Dict[str, Spec] = {}
+
+    for (name,) in model.arguments("node"):
+        specs[name] = Spec(name=name)
+
+    for atom in model.atoms("attr"):
+        args = atom[1:]
+        attr_name = args[0]
+        if attr_name == "version" and len(args) == 3:
+            _, name, version = args
+            if name in specs:
+                specs[name].versions = VersionList([Version(version)])
+        elif attr_name == "variant_value" and len(args) == 4:
+            _, name, variant, value = args
+            if name not in specs:
+                continue
+            spec = specs[name]
+            existing = spec.variants.get(variant)
+            if existing is None:
+                spec.variants[variant] = value
+            elif isinstance(existing, tuple):
+                if value not in existing:
+                    spec.variants[variant] = tuple(sorted(existing + (value,)))
+            elif existing != value:
+                spec.variants[variant] = tuple(sorted((existing, value)))
+        elif attr_name == "node_compiler" and len(args) == 3:
+            _, name, compiler = args
+            if name in specs:
+                specs[name].compiler = compiler
+        elif attr_name == "node_compiler_version" and len(args) == 4:
+            _, name, compiler, version = args
+            if name in specs:
+                specs[name].compiler = compiler
+                specs[name].compiler_versions = VersionList([Version(version)])
+        elif attr_name == "node_os" and len(args) == 3:
+            _, name, os_name = args
+            if name in specs:
+                specs[name].os = os_name
+        elif attr_name == "node_target" and len(args) == 3:
+            _, name, target = args
+            if name in specs:
+                specs[name].target = target
+
+    for name, digest in model.arguments("hash"):
+        if name in specs:
+            specs[name].installed_hash = digest
+
+    for parent, child in model.arguments("depends_on"):
+        if parent in specs and child in specs:
+            specs[parent].dependencies[child] = specs[child]
+
+    for spec in specs.values():
+        spec.mark_concrete()
+
+    return specs
+
+
+def root_specs(model: Model, specs: Dict[str, Spec]) -> List[Spec]:
+    """The concrete specs corresponding to the solve's root packages."""
+    roots = []
+    for (name,) in model.arguments("root"):
+        if name not in specs:
+            raise SpackError(f"solver model is missing root node {name!r}")
+        roots.append(specs[name])
+    return roots
+
+
+def built_and_reused(model: Model) -> Tuple[Set[str], Set[str]]:
+    """Names of packages the model builds vs. reuses from the store."""
+    built = {name for (name,) in model.arguments("build")}
+    reused = {name for (name, _digest) in model.arguments("hash")}
+    return built, reused

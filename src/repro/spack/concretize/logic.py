@@ -1,0 +1,312 @@
+"""The declarative logic program encoding Spack's software model (Section V).
+
+This is the analogue of Spack's ``concretize.lp``: a first-order ASP program
+(~300 lines of rules, integrity constraints and optimization directives) that,
+together with the per-solve facts produced by
+:mod:`repro.spack.concretize.encoder`, fully describes what a *valid* and
+*optimal* concretization is.
+
+Major sections (mirroring the paper):
+
+* generalized condition handling (``condition`` / ``condition_requirement`` /
+  ``imposed_constraint``) — Section V-A;
+* node/dependency derivation and DAG acyclicity — Section V;
+* virtual packages and provider selection — Sections III-B and VI-B.3;
+* version / variant / compiler / OS / target choices and compatibility
+  constraints — Section V;
+* reuse of installed packages via hash selection — Section VI;
+* the optimization criteria of Table II, split into the build / number of
+  builds / reuse buckets of Figure 5.
+"""
+
+LOGIC_PROGRAM = r"""
+% =============================================================================
+% Roots and nodes
+% =============================================================================
+
+attr("node", P) :- root(P).
+attr("root", P) :- root(P).
+node(P) :- attr("node", P).
+
+% Every non-root node must be depended upon by something: nodes cannot float
+% free of the DAG.  Combined with acyclicity this means every node is
+% reachable from a root.
+node_has_parent(P) :- depends_on(Parent, P), node(Parent).
+:- node(P), not attr("root", P), not node_has_parent(P).
+
+% =============================================================================
+% Generalized condition handling (Section V-A)
+% =============================================================================
+
+condition_holds(ID) :-
+    condition(ID);
+    attr(N, A1)         : condition_requirement(ID, N, A1);
+    attr(N, A1, A2)     : condition_requirement(ID, N, A1, A2);
+    attr(N, A1, A2, A3) : condition_requirement(ID, N, A1, A2, A3).
+
+impose(ID) :- condition_holds(ID).
+
+attr(N, A1)         :- impose(ID), imposed_constraint(ID, N, A1).
+attr(N, A1, A2)     :- impose(ID), imposed_constraint(ID, N, A1, A2).
+attr(N, A1, A2, A3) :- impose(ID), imposed_constraint(ID, N, A1, A2, A3).
+
+% =============================================================================
+% Dependencies
+% =============================================================================
+
+% A dependency condition that holds creates an edge to a real package ...
+depends_on(P, D) :-
+    dependency_condition(ID, P, D), condition_holds(ID), not virtual(D).
+
+% ... or requires a virtual that must be provided by some package.
+virtual_node(V) :-
+    dependency_condition(ID, P, V), condition_holds(ID), virtual(V), node(P).
+
+% Exactly one provider is chosen for every virtual in the graph.
+1 { provider(Provider, V) : possible_provider(V, Provider, W) } 1 :- virtual_node(V).
+
+% The chosen provider becomes the dependency of everything that needed the virtual.
+depends_on(P, Provider) :-
+    dependency_condition(ID, P, V), condition_holds(ID), virtual(V),
+    provider(Provider, V).
+
+% A chosen provider must satisfy at least one of its provides() conditions.
+provider_ok(Provider, V) :-
+    provider_condition(ID, Provider, V), condition_holds(ID).
+:- provider(Provider, V), not provider_ok(Provider, V).
+
+% Dependency edges (also those imposed by reused installations) put the
+% dependency in the graph.
+depends_on(P, D) :- attr("depends_on", P, D), node(P).
+attr("node", D) :- depends_on(P, D), node(P).
+
+% Version constraints flowing through a virtual apply to its chosen provider.
+attr("version_satisfies", Provider, Constraint) :-
+    attr("provider_version_satisfies", V, Constraint), provider(Provider, V).
+
+% The dependency DAG must be acyclic (Section V).
+path(A, B) :- depends_on(A, B).
+path(A, C) :- path(A, B), depends_on(B, C).
+:- path(A, B), path(B, A).
+attr("path", A, B) :- path(A, B).
+
+% =============================================================================
+% Reuse of installed packages (Section VI)
+% =============================================================================
+
+{ hash(P, Hash) : installed_hash(P, Hash) } 1 :- node(P).
+chosen_hash(P) :- hash(P, Hash).
+build(P) :- node(P), not chosen_hash(P).
+
+% Imposing a hash (e.g. because a reused parent was built against it) selects it.
+hash(P, Hash) :- attr("hash", P, Hash), node(P), installed_hash(P, Hash).
+
+% All metadata of a chosen installation is imposed on the node.
+impose(Hash) :- hash(P, Hash).
+
+build_priority(P, 200) :- build(P), node(P).
+build_priority(P, 0)   :- not build(P), node(P).
+
+% =============================================================================
+% Versions
+% =============================================================================
+
+% Built nodes pick exactly one declared version; reused nodes get theirs from
+% the imposed constraints of their hash.
+1 { attr("version", P, V) : version_declared(P, V, W) } 1 :- node(P), build(P).
+
+% Every node ends up with exactly one version.
+node_has_version(P) :- attr("version", P, V).
+:- node(P), not node_has_version(P).
+:- attr("version", P, V1), attr("version", P, V2), V1 < V2.
+
+% A version constraint is satisfied by the chosen version ...
+attr("version_satisfies", P, Constraint) :-
+    attr("version", P, V), version_possible(P, Constraint, V).
+
+% ... and an *imposed* version constraint rules out versions outside it.
+:- attr("version_satisfies", P, Constraint), attr("version", P, V),
+   not version_possible(P, Constraint, V).
+
+version_weight(P, W) :- attr("version", P, V), version_declared(P, V, W), node(P).
+deprecated(P) :- attr("version", P, V), version_deprecated(P, V), node(P).
+
+% =============================================================================
+% Variants
+% =============================================================================
+
+% Built nodes choose a value for every one of their variants.
+1 { attr("variant_value", P, Variant, Value) : variant_possible_value(P, Variant, Value) } 1 :-
+    node(P), build(P), variant(P, Variant), variant_single(P, Variant).
+
+1 { attr("variant_value", P, Variant, Value) : variant_possible_value(P, Variant, Value) } :-
+    node(P), build(P), variant(P, Variant), variant_multi(P, Variant).
+
+% Single-valued variants can hold only one value, however it was derived.
+:- attr("variant_value", P, Variant, V1), attr("variant_value", P, Variant, V2),
+   variant_single(P, Variant), V1 < V2.
+
+% A value must be allowed by the package definition (only checked for values
+% the package actually declares a domain for).
+:- attr("variant_value", P, Variant, Value), variant(P, Variant), build(P),
+   not variant_possible_value(P, Variant, Value).
+
+variant_not_default(P, Variant) :-
+    attr("variant_value", P, Variant, Value),
+    variant_default(P, Variant, Default),
+    variant(P, Variant), node(P), Value != Default.
+
+% "Unused default variant value": the default value of a multi-valued variant
+% is not among the chosen values (Table II criteria 5 and 12).
+variant_default_used(P, Variant) :-
+    attr("variant_value", P, Variant, Value), variant_default(P, Variant, Value).
+unused_default(P, Variant) :-
+    variant_multi(P, Variant), variant_default(P, Variant, Default),
+    node(P), build(P), not variant_default_used(P, Variant).
+
+% =============================================================================
+% Compilers
+% =============================================================================
+
+1 { node_compiler(P, C, V) : compiler(C, V) } 1 :- node(P), build(P).
+
+attr("node_compiler", P, C) :- node_compiler(P, C, V).
+attr("node_compiler_version", P, C, V) :- node_compiler(P, C, V).
+
+% Imposed compiler constraints must agree with the node's compiler.
+:- attr("node_compiler", P, C1), attr("node_compiler", P, C2), C1 < C2.
+:- attr("node_compiler_version", P, C, V1), attr("node_compiler_version", P, C, V2), V1 < V2.
+
+% A compiler-version constraint is satisfied by the chosen compiler version
+% (used both by conditions, e.g. conflicts("%gcc@:8"), and by impositions).
+attr("node_compiler_version_satisfies", P, C, Constraint) :-
+    attr("node_compiler_version", P, C, V), compiler_version_possible(C, Constraint, V).
+:- attr("node_compiler_version_satisfies", P, C, Constraint),
+   attr("node_compiler_version", P, C, V),
+   not compiler_version_possible(C, Constraint, V).
+:- attr("node_compiler_version_satisfies", P, C1, Constraint),
+   attr("node_compiler", P, C2), C1 != C2.
+
+compiler_weight(P, W) :-
+    node_compiler(P, C, V), compiler_weight(C, V, W).
+
+compiler_mismatch(P, D) :-
+    depends_on(P, D),
+    attr("node_compiler", P, C1), attr("node_compiler", D, C2), C1 != C2.
+compiler_mismatch(P, D) :-
+    depends_on(P, D),
+    attr("node_compiler_version", P, C, V1), attr("node_compiler_version", D, C, V2),
+    V1 != V2.
+
+% =============================================================================
+% Operating system
+% =============================================================================
+
+1 { attr("node_os", P, O) : os(O) } 1 :- node(P), build(P).
+:- attr("node_os", P, O1), attr("node_os", P, O2), O1 < O2.
+
+node_os_weight(P, W) :- attr("node_os", P, O), os_weight(O, W), node(P).
+os_mismatch(P, D) :-
+    depends_on(P, D), attr("node_os", P, O1), attr("node_os", D, O2), O1 != O2.
+
+% =============================================================================
+% Targets (microarchitectures)
+% =============================================================================
+
+1 { attr("node_target", P, T) : target(T) } 1 :- node(P), build(P).
+:- attr("node_target", P, T1), attr("node_target", P, T2), T1 < T2.
+
+% The chosen compiler must be able to generate code for the chosen target
+% (e.g. gcc 4.8.3 cannot target skylake) -- only for things we build.
+:- attr("node_target", P, T), node_compiler(P, C, V), build(P),
+   not compiler_supports_target(C, V, T).
+
+attr("node_target_family", P, Family) :-
+    attr("node_target", P, T), target_family(T, Family).
+:- attr("node_target_family", P, F1), attr("node_target", P, T), target_family(T, F2), F1 != F2.
+
+node_target_weight(P, W) :- attr("node_target", P, T), target_weight(T, W), node(P).
+target_mismatch(P, D) :-
+    depends_on(P, D), attr("node_target", P, T1), attr("node_target", D, T2), T1 != T2.
+
+% =============================================================================
+% Conflicts (Section VI-B.2): integrity constraints, not post-hoc validation
+% =============================================================================
+
+:- conflict(ID, P), condition_holds(ID), node(P), build(P).
+
+% =============================================================================
+% Optimization (Table II + Figure 5 reuse buckets)
+% =============================================================================
+
+% The total number of builds sits between the two buckets.
+#minimize { 1@100,P : build(P) }.
+
+% 1. Deprecated versions used.
+#minimize { 1@15+Priority,P : deprecated(P), build_priority(P, Priority) }.
+
+% 2. Version oldness (roots).
+#minimize { W@14+Priority,P : version_weight(P, W), attr("root", P), build_priority(P, Priority) }.
+
+% 3. Non-default variant values (roots).
+#minimize { 1@13+Priority,P,Variant : variant_not_default(P, Variant), attr("root", P), build_priority(P, Priority) }.
+
+% 4. Non-preferred providers (roots).
+#minimize { W@12+Priority,Provider,V : provider_weight_root(Provider, V, W), build_priority(Provider, Priority) }.
+
+% 5. Unused default variant values (roots).
+#minimize { 1@11+Priority,P,Variant : unused_default(P, Variant), attr("root", P), build_priority(P, Priority) }.
+
+% 6. Non-default variant values (non-roots).
+#minimize { 1@10+Priority,P,Variant : variant_not_default(P, Variant), not attr("root", P), build_priority(P, Priority) }.
+
+% 7. Non-preferred providers (non-roots).
+#minimize { W@9+Priority,Provider,V : provider_weight_nonroot(Provider, V, W), build_priority(Provider, Priority) }.
+
+% 8. Compiler mismatches.
+#minimize { 1@8+Priority,P,D : compiler_mismatch(P, D), build_priority(D, Priority) }.
+
+% 9. OS mismatches.
+#minimize { 1@7+Priority,P,D : os_mismatch(P, D), build_priority(D, Priority) }.
+
+% 10. Non-preferred OS's.
+#minimize { W@6+Priority,P : node_os_weight(P, W), build_priority(P, Priority) }.
+
+% 11. Version oldness (non-roots).
+#minimize { W@5+Priority,P : version_weight(P, W), not attr("root", P), build_priority(P, Priority) }.
+
+% 12. Unused default variant values (non-roots).
+#minimize { 1@4+Priority,P,Variant : unused_default(P, Variant), not attr("root", P), build_priority(P, Priority) }.
+
+% 13. Non-preferred compilers.
+#minimize { W@3+Priority,P : compiler_weight(P, W), build_priority(P, Priority) }.
+
+% 14. Target mismatches.
+#minimize { 1@2+Priority,P,D : target_mismatch(P, D), build_priority(D, Priority) }.
+
+% 15. Non-preferred targets.
+#minimize { W@1+Priority,P : node_target_weight(P, W), build_priority(P, Priority) }.
+
+% Provider preference weights, split by whether a root requested the virtual.
+provider_weight_root(Provider, V, W) :-
+    provider(Provider, V), possible_provider(V, Provider, W),
+    depends_on(R, Provider), attr("root", R).
+provider_weight_nonroot(Provider, V, W) :-
+    provider(Provider, V), possible_provider(V, Provider, W),
+    depends_on(D, Provider), not attr("root", D), node(D).
+"""
+
+
+def logic_program() -> str:
+    """The logic program text (kept behind a function for API symmetry)."""
+    return LOGIC_PROGRAM
+
+
+def logic_program_size() -> int:
+    """Number of non-empty, non-comment lines (the paper quotes ~800 for Spack)."""
+    count = 0
+    for line in LOGIC_PROGRAM.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            count += 1
+    return count

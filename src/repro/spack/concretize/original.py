@@ -1,0 +1,247 @@
+"""The original greedy, fixed-point concretizer (the baseline).
+
+This reimplements the algorithm the paper replaces (Section III-C): a greedy
+pass that fills in versions, variants, compilers, and targets node by node
+*without backtracking*.  Its two known deficiencies are intentional, because
+they are what the paper demonstrates:
+
+* **Incompleteness** — decisions are made from defaults before dependencies
+  are expanded, so ``hpctoolkit ^mpich`` fails with "Package hpctoolkit does
+  not depend on mpich" even though a valid solution exists (Section VI-B.1).
+* **No optimality guarantee** — it stops at the first conflict instead of
+  exploring alternatives.
+
+Reuse is hash-based only (Figure 4): after concretizing, a node is "reused"
+only when its DAG hash exactly matches an installed spec.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from repro.spack.architecture import Platform, default_platform
+from repro.spack.compilers import CompilerRegistry
+from repro.spack.errors import ConflictError, UnsatisfiableSpecError
+from repro.spack.repo import Repository, builtin_repository
+from repro.spack.spec import Spec
+from repro.spack.spec_parser import parse_spec
+from repro.spack.version import VersionList
+
+
+@dataclass
+class OriginalResult:
+    """Result of a greedy concretization."""
+
+    root: Spec
+    specs: Dict[str, Spec]
+    reused: Set[str] = field(default_factory=set)
+    elapsed: float = 0.0
+
+    @property
+    def spec(self) -> Spec:
+        return self.root
+
+    @property
+    def number_of_builds(self) -> int:
+        return len(self.specs) - len(self.reused)
+
+    @property
+    def number_reused(self) -> int:
+        return len(self.reused)
+
+
+class OriginalConcretizer:
+    """Greedy fixed-point concretization without backtracking."""
+
+    def __init__(
+        self,
+        repo: Optional[Repository] = None,
+        platform: Optional[Platform] = None,
+        compilers: Optional[CompilerRegistry] = None,
+        store=None,
+    ):
+        self.repo = repo or builtin_repository()
+        self.platform = platform or default_platform()
+        self.compilers = compilers or CompilerRegistry()
+        self.store = store
+
+    # ------------------------------------------------------------------
+
+    def concretize(self, spec: Union[str, Spec]) -> OriginalResult:
+        start = time.perf_counter()
+        abstract = parse_spec(spec) if isinstance(spec, str) else spec.copy()
+        if abstract.name is None:
+            raise UnsatisfiableSpecError("cannot concretize an anonymous spec")
+
+        # Constraints the user placed on specific (transitive) dependencies.
+        user_constraints: Dict[str, Spec] = {
+            name: dep for name, dep in abstract.dependencies.items()
+        }
+
+        concretized: Dict[str, Spec] = {}
+        root = abstract.copy(deps=False)
+        self._concretize_node(root, concretized, user_constraints)
+
+        # Every user-supplied ^dependency must have ended up in the DAG.
+        for name in user_constraints:
+            target = name
+            if self.repo.is_virtual(name):
+                providers = [p for p in self.repo.providers_for(name) if p in concretized]
+                if providers:
+                    continue
+            if target not in concretized:
+                raise UnsatisfiableSpecError(
+                    f"Package {root.name} does not depend on {name}"
+                )
+
+        self._check_conflicts(concretized)
+
+        reused = set()
+        if self.store is not None:
+            for name, node in concretized.items():
+                if self.store.lookup(node.dag_hash()) is not None:
+                    node.installed_hash = node.dag_hash()
+                    reused.add(name)
+
+        elapsed = time.perf_counter() - start
+        return OriginalResult(root=root, specs=concretized, reused=reused, elapsed=elapsed)
+
+    # ------------------------------------------------------------------
+
+    def _concretize_node(
+        self,
+        node: Spec,
+        concretized: Dict[str, Spec],
+        user_constraints: Dict[str, Spec],
+    ) -> Spec:
+        """Greedily pin every parameter of ``node``, then expand dependencies."""
+        name = node.name
+        if name in concretized:
+            # already decided: later constraints can only be *checked*, never
+            # revised (this is the greedy algorithm's key weakness)
+            return concretized[name]
+
+        cls = self.repo.get(name)
+
+        # 1. user constraints on this node (from the command line)
+        if name in user_constraints:
+            node.constrain(user_constraints[name])
+
+        # 2. version: newest declared version satisfying the constraints
+        version = self._choose_version(cls, node.versions)
+        node.versions = VersionList([version])
+
+        # 3. variants: defaults for everything unset
+        for variant_name, decl in cls.variants.items():
+            if variant_name not in node.variants:
+                node.variants[variant_name] = decl.default
+
+        # 4. compiler, OS, target
+        if node.compiler is None:
+            default = self.compilers.default()
+            node.compiler = default.name
+            node.compiler_versions = VersionList([default.version])
+        elif node.compiler_versions.concrete is None:
+            chosen = self.compilers.get(node.compiler)
+            node.compiler_versions = VersionList([chosen.version])
+        if node.os is None:
+            node.os = self.platform.default_os
+        if node.target is None:
+            node.target = self._choose_target(node)
+
+        node.mark_concrete()
+        concretized[name] = node
+
+        # 5. dependencies whose conditions are satisfied *now* (no backtracking)
+        for dependency in cls.dependencies:
+            if dependency.when is not None and not node.satisfies(dependency.when):
+                continue
+            dep_name = dependency.name
+            dep_constraint = dependency.spec
+            if self.repo.is_virtual(dep_name):
+                provider = self._choose_provider(dep_name, user_constraints, concretized)
+                dep_constraint = Spec(name=provider)
+                dep_name = provider
+
+            existing = concretized.get(dep_name)
+            if existing is not None:
+                self._check_constraint(existing, dependency.spec, dep_name)
+                concretized[node.name].dependencies[dep_name] = existing
+                continue
+
+            child = Spec(name=dep_name)
+            try:
+                if dep_constraint.name == dep_name:
+                    child.constrain(dep_constraint)
+            except Exception as exc:
+                raise UnsatisfiableSpecError(str(exc)) from exc
+            # propagate toolchain choices downward (greedy "consistency")
+            child.compiler = node.compiler
+            child.compiler_versions = node.compiler_versions.copy()
+            child.os = node.os
+            child.target = node.target
+            self._concretize_node(child, concretized, user_constraints)
+            node.dependencies[dep_name] = concretized[dep_name]
+
+        return node
+
+    # ------------------------------------------------------------------
+
+    def _choose_version(self, cls, constraints: VersionList):
+        for version in cls.usable_versions():
+            if constraints.is_any or constraints.includes(version):
+                return version
+        for version in cls.declared_versions():
+            if constraints.is_any or constraints.includes(version):
+                return version
+        raise UnsatisfiableSpecError(
+            f"no declared version of {cls.name} satisfies @{constraints}"
+        )
+
+    def _choose_target(self, node: Spec) -> str:
+        compiler = self.compilers.get(node.compiler, str(node.compiler_versions.concrete or "") or None)
+        supported = [
+            t for t in self.platform.targets() if compiler.supports_target(t)
+        ]
+        if not supported:
+            return self.platform.generic_target().name
+        return max(supported, key=lambda t: t.generation).name
+
+    def _choose_provider(
+        self,
+        virtual: str,
+        user_constraints: Dict[str, Spec],
+        concretized: Dict[str, Spec],
+    ) -> str:
+        providers = self.repo.providers_for(virtual)
+        if not providers:
+            raise UnsatisfiableSpecError(f"no providers for virtual package {virtual!r}")
+        # a provider already in the DAG or requested by the user wins
+        for provider in providers:
+            if provider in concretized:
+                return provider
+        for provider in providers:
+            if provider in user_constraints:
+                return provider
+        return providers[0]
+
+    def _check_constraint(self, existing: Spec, constraint: Spec, name: str):
+        """A new constraint on an already-concretized node can only be checked."""
+        if constraint.name != name:
+            return
+        if not existing.satisfies(constraint):
+            raise UnsatisfiableSpecError(
+                f"cannot satisfy constraint {constraint} on already-concretized {existing.format()}"
+            )
+
+    def _check_conflicts(self, concretized: Dict[str, Spec]):
+        for name, node in concretized.items():
+            cls = self.repo.get(name)
+            for conflict in cls.conflict_decls:
+                if conflict.when is not None and not node.satisfies(conflict.when):
+                    continue
+                if node.satisfies(conflict.spec):
+                    message = conflict.msg or f"{name} conflicts with {conflict.spec}"
+                    raise ConflictError(message)

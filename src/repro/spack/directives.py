@@ -1,0 +1,209 @@
+"""Package DSL directives (``version``, ``variant``, ``depends_on``, ...).
+
+Spack packages are Python classes whose bodies call *directives* (Figure 2 of
+the paper).  Directives executed inside a class body are buffered globally and
+attached to the class by :class:`repro.spack.package.PackageMeta` when the
+class object is created — the same trick Spack itself uses.
+
+Every directive is stored as a small declarative record; the concretizers (both
+the ASP one and the greedy baseline) only ever read these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.spack.errors import PackageError
+from repro.spack.spec import Spec, normalize_variant_value
+from repro.spack.spec_parser import parse_spec
+from repro.spack.version import Version
+
+
+def _as_condition(when: Optional[Union[str, Spec]]) -> Optional[Spec]:
+    if when is None:
+        return None
+    if isinstance(when, Spec):
+        return when
+    text = when.strip()
+    if not text:
+        return None
+    return parse_spec(text)
+
+
+@dataclass
+class VersionDecl:
+    """A ``version(...)`` directive."""
+
+    version: Version
+    deprecated: bool = False
+    preferred: bool = False
+    sha256: Optional[str] = None
+
+
+@dataclass
+class VariantDecl:
+    """A ``variant(...)`` directive."""
+
+    name: str
+    default: Union[str, Tuple[str, ...]]
+    values: Tuple[str, ...]
+    multi: bool = False
+    description: str = ""
+    when: Optional[Spec] = None
+
+    @property
+    def is_boolean(self) -> bool:
+        return set(self.values) == {"true", "false"}
+
+
+@dataclass
+class DependencyDecl:
+    """A ``depends_on(...)`` directive."""
+
+    spec: Spec
+    when: Optional[Spec] = None
+    type: Tuple[str, ...] = ("build", "link")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class ConflictDecl:
+    """A ``conflicts(...)`` directive."""
+
+    spec: Spec
+    when: Optional[Spec] = None
+    msg: str = ""
+
+
+@dataclass
+class ProvidesDecl:
+    """A ``provides(...)`` directive (virtual packages)."""
+
+    virtual: Spec
+    when: Optional[Spec] = None
+
+    @property
+    def name(self) -> str:
+        return self.virtual.name
+
+
+DirectiveRecord = Union[VersionDecl, VariantDecl, DependencyDecl, ConflictDecl, ProvidesDecl]
+
+# Directives executed inside a class body land here until PackageMeta collects
+# them.  Class bodies execute sequentially, so a simple list works.
+_directive_buffer: List[DirectiveRecord] = []
+
+
+def _push(record: DirectiveRecord) -> DirectiveRecord:
+    _directive_buffer.append(record)
+    return record
+
+
+def collect_directives() -> List[DirectiveRecord]:
+    """Pop everything buffered since the last collection (used by PackageMeta)."""
+    global _directive_buffer
+    records, _directive_buffer = _directive_buffer, []
+    return records
+
+
+# ---------------------------------------------------------------------------
+# The directives themselves
+# ---------------------------------------------------------------------------
+
+
+def version(
+    version_string: Union[str, int, float],
+    sha256: Optional[str] = None,
+    deprecated: bool = False,
+    preferred: bool = False,
+) -> VersionDecl:
+    """Declare a downloadable version of the package."""
+    return _push(
+        VersionDecl(
+            version=Version(version_string),
+            sha256=sha256,
+            deprecated=deprecated,
+            preferred=preferred,
+        )
+    )
+
+
+def variant(
+    name: str,
+    default: Union[bool, str, Sequence[str]] = False,
+    description: str = "",
+    values: Optional[Sequence[str]] = None,
+    multi: bool = False,
+    when: Optional[Union[str, Spec]] = None,
+) -> VariantDecl:
+    """Declare a build option (variant)."""
+    if values is None:
+        if isinstance(default, bool):
+            values = ("true", "false")
+        else:
+            raise PackageError(
+                f"variant {name!r}: non-boolean variants must declare their values"
+            )
+    normalized_values = tuple(normalize_variant_value(v) for v in values)
+    normalized_default = normalize_variant_value(default)
+    if multi:
+        if not isinstance(normalized_default, tuple):
+            normalized_default = (normalized_default,)
+        unknown = set(normalized_default) - set(normalized_values)
+    else:
+        unknown = set() if normalized_default in normalized_values else {normalized_default}
+    if unknown:
+        raise PackageError(
+            f"variant {name!r}: default {sorted(unknown)} not among values {normalized_values}"
+        )
+    return _push(
+        VariantDecl(
+            name=name,
+            default=normalized_default,
+            values=normalized_values,
+            multi=multi,
+            description=description,
+            when=_as_condition(when),
+        )
+    )
+
+
+def depends_on(
+    spec: Union[str, Spec],
+    when: Optional[Union[str, Spec]] = None,
+    type: Union[str, Sequence[str]] = ("build", "link"),
+) -> DependencyDecl:
+    """Declare a dependency (possibly conditional, possibly on a virtual)."""
+    dependency_spec = spec if isinstance(spec, Spec) else parse_spec(spec)
+    if dependency_spec.name is None:
+        raise PackageError(f"depends_on() requires a named spec, got {spec!r}")
+    if isinstance(type, str):
+        type = (type,)
+    return _push(
+        DependencyDecl(spec=dependency_spec, when=_as_condition(when), type=tuple(type))
+    )
+
+
+def conflicts(
+    spec: Union[str, Spec],
+    when: Optional[Union[str, Spec]] = None,
+    msg: str = "",
+) -> ConflictDecl:
+    """Declare a configuration this package is known not to build in."""
+    conflict_spec = spec if isinstance(spec, Spec) else parse_spec(spec)
+    return _push(ConflictDecl(spec=conflict_spec, when=_as_condition(when), msg=msg))
+
+
+def provides(
+    virtual: Union[str, Spec],
+    when: Optional[Union[str, Spec]] = None,
+) -> ProvidesDecl:
+    """Declare that this package provides a virtual package (API)."""
+    virtual_spec = virtual if isinstance(virtual, Spec) else parse_spec(virtual)
+    if virtual_spec.name is None:
+        raise PackageError(f"provides() requires a named spec, got {virtual!r}")
+    return _push(ProvidesDecl(virtual=virtual_spec, when=_as_condition(when)))

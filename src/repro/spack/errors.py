@@ -1,0 +1,42 @@
+"""Exception hierarchy for the Spack-like layer."""
+
+
+class SpackError(Exception):
+    """Base class for all errors raised by :mod:`repro.spack`."""
+
+
+class SpecSyntaxError(SpackError):
+    """Raised when a spec string cannot be parsed."""
+
+
+class VersionError(SpackError):
+    """Raised for malformed versions or version ranges."""
+
+
+class PackageError(SpackError):
+    """Raised for malformed package definitions."""
+
+
+class UnknownPackageError(PackageError):
+    """Raised when a package name cannot be found in any repository."""
+
+    def __init__(self, name, repo=None):
+        self.name = name
+        message = f"Package '{name}' not found"
+        if repo is not None:
+            message += f" in repository '{repo}'"
+        super().__init__(message)
+
+
+class UnsatisfiableSpecError(SpackError):
+    """Raised when no valid concretization exists (or, for the original
+    greedy concretizer, when it *fails to find* one — the incompleteness the
+    paper discusses in Section III-C)."""
+
+
+class ConflictError(UnsatisfiableSpecError):
+    """Raised when a conflict directive is violated."""
+
+
+class DuplicateDependencyError(SpackError):
+    """Raised when a spec constrains the same dependency inconsistently."""

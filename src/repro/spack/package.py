@@ -1,0 +1,227 @@
+"""Package base classes and the metaclass that collects directives.
+
+A package is a Python class (Figure 2 in the paper)::
+
+    class Hpctoolkit(AutotoolsPackage):
+        variant("mpi", default=False, description="...")
+        depends_on("mpi", when="+mpi")
+
+Directives executed in the class body are buffered by
+:mod:`repro.spack.directives`; :class:`PackageMeta` pops the buffer and turns
+it into structured per-class metadata (versions, variants, dependencies,
+conflicts, provided virtuals).  Subclassing merges the parents' metadata, so
+``CMakePackage`` can add a build dependency on ``cmake`` for every package that
+uses it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.spack.directives import (
+    ConflictDecl,
+    DependencyDecl,
+    ProvidesDecl,
+    VariantDecl,
+    VersionDecl,
+    collect_directives,
+    depends_on,
+)
+from repro.spack.errors import PackageError
+from repro.spack.spec import Spec
+from repro.spack.version import Version
+
+
+def class_name_to_package_name(class_name: str) -> str:
+    """``Hpctoolkit`` -> ``hpctoolkit``, ``PyNumpy`` -> ``py-numpy``,
+    ``NetlibScalapack`` -> ``netlib-scalapack``, ``_3proxy`` -> ``3proxy``."""
+    name = class_name.lstrip("_")
+    parts = re.findall(r"[A-Z]?[a-z0-9]+|[A-Z]+(?![a-z])", name)
+    return "-".join(part.lower() for part in parts)
+
+
+class PackageMeta(type):
+    """Collects buffered directives into class-level metadata."""
+
+    def __new__(mcs, name, bases, namespace, **kwargs):
+        cls = super().__new__(mcs, name, bases, namespace, **kwargs)
+
+        # Merge metadata from the base classes first (build-system bases may
+        # inject dependencies such as cmake or gmake).
+        versions: Dict[Version, VersionDecl] = {}
+        variants: Dict[str, VariantDecl] = {}
+        dependencies: List[DependencyDecl] = []
+        conflict_decls: List[ConflictDecl] = []
+        provided: List[ProvidesDecl] = []
+        for base in bases:
+            versions.update(getattr(base, "versions", {}))
+            variants.update(getattr(base, "variants", {}))
+            dependencies.extend(getattr(base, "dependencies", []))
+            conflict_decls.extend(getattr(base, "conflict_decls", []))
+            provided.extend(getattr(base, "provided", []))
+
+        for record in collect_directives():
+            if isinstance(record, VersionDecl):
+                versions[record.version] = record
+            elif isinstance(record, VariantDecl):
+                variants[record.name] = record
+            elif isinstance(record, DependencyDecl):
+                dependencies.append(record)
+            elif isinstance(record, ConflictDecl):
+                conflict_decls.append(record)
+            elif isinstance(record, ProvidesDecl):
+                provided.append(record)
+
+        cls.versions = versions
+        cls.variants = variants
+        cls.dependencies = dependencies
+        cls.conflict_decls = conflict_decls
+        cls.provided = provided
+        if "name" not in namespace:
+            cls.name = class_name_to_package_name(name)
+        return cls
+
+
+class PackageBase(metaclass=PackageMeta):
+    """Base class of every package recipe."""
+
+    #: populated by PackageMeta
+    name: str = "package-base"
+    versions: Dict[Version, VersionDecl] = {}
+    variants: Dict[str, VariantDecl] = {}
+    dependencies: List[DependencyDecl] = []
+    conflict_decls: List[ConflictDecl] = []
+    provided: List[ProvidesDecl] = []
+
+    #: set when the class is registered with a repository
+    repository = None
+
+    def __init__(self, spec: Optional[Spec] = None):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Version helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def declared_versions(cls) -> List[Version]:
+        """All declared versions, newest first."""
+        return sorted(cls.versions, reverse=True)
+
+    @classmethod
+    def usable_versions(cls) -> List[Version]:
+        """Non-deprecated versions, newest first, preferred versions on top."""
+        usable = [v for v, decl in cls.versions.items() if not decl.deprecated]
+        return sorted(
+            usable,
+            key=lambda v: (cls.versions[v].preferred, v),
+            reverse=True,
+        )
+
+    @classmethod
+    def preferred_version(cls) -> Version:
+        usable = cls.usable_versions()
+        if usable:
+            return usable[0]
+        declared = cls.declared_versions()
+        if declared:
+            return declared[0]
+        raise PackageError(f"package {cls.name} declares no versions")
+
+    @classmethod
+    def version_weights(cls) -> Dict[Version, int]:
+        """Weight per declared version: 0 = most preferred (paper Section V).
+
+        Deprecated versions sort after every non-deprecated one so that the
+        highest-priority criterion ("deprecated versions used") only has to
+        count them.
+        """
+        non_deprecated = cls.usable_versions()
+        deprecated = sorted(
+            (v for v, decl in cls.versions.items() if decl.deprecated), reverse=True
+        )
+        ordered = non_deprecated + deprecated
+        return {version: weight for weight, version in enumerate(ordered)}
+
+    # ------------------------------------------------------------------
+    # Variant helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def variant_default(cls, name: str):
+        try:
+            return cls.variants[name].default
+        except KeyError:
+            raise PackageError(f"package {cls.name} has no variant {name!r}") from None
+
+    @classmethod
+    def default_variants(cls) -> Dict[str, object]:
+        return {name: decl.default for name, decl in cls.variants.items()}
+
+    # ------------------------------------------------------------------
+    # Dependency helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def dependency_names(cls) -> List[str]:
+        """Names of everything this package can ever depend on (conditions ignored)."""
+        seen = []
+        for dependency in cls.dependencies:
+            if dependency.name not in seen:
+                seen.append(dependency.name)
+        return seen
+
+    @classmethod
+    def provided_virtuals(cls) -> List[str]:
+        seen = []
+        for record in cls.provided:
+            if record.name not in seen:
+                seen.append(record.name)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Build interface (exercised by the store's install())
+    # ------------------------------------------------------------------
+
+    def install(self, spec: Spec, prefix: str):  # pragma: no cover - overridden
+        """Install ``spec`` into ``prefix``.  The default recipe does nothing;
+        real packages override this (our synthetic ones usually don't need to)."""
+
+    def __repr__(self):
+        return f"<Package {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Build-system base classes (they contribute common build dependencies)
+# ---------------------------------------------------------------------------
+
+
+class Package(PackageBase):
+    """A generic package with a hand-written build."""
+
+
+class MakefilePackage(PackageBase):
+    """Built with plain ``make``."""
+
+
+class AutotoolsPackage(PackageBase):
+    """Built with ``configure && make && make install``."""
+
+
+class CMakePackage(PackageBase):
+    """Built with CMake.
+
+    Mirroring Spack, every CMake package implicitly carries a build dependency
+    on ``cmake`` — one of the reasons the paper's "possible dependency" counts
+    blow up for so many packages (Section VII-B).
+    """
+
+    depends_on("cmake", type="build")
+
+
+class PythonPackage(PackageBase):
+    """A Python extension: implicitly depends on ``python``."""
+
+    depends_on("python", type=("build", "run"))
+    depends_on("py-setuptools", type="build")

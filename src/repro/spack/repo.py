@@ -1,0 +1,184 @@
+"""Package repositories: registries of package classes plus virtual providers.
+
+The repository answers the questions the concretizer needs:
+
+* ``get(name)`` — the package class for a name;
+* ``providers_for(virtual)`` — which packages can stand in for a virtual
+  package such as ``mpi``, ``blas`` or ``lapack``;
+* ``possible_dependencies(name)`` — the *possible dependency set*: every
+  package reachable through any ``depends_on`` directive (regardless of its
+  ``when=`` condition), with virtuals expanded to all their providers.  This
+  is the quantity on the x-axis of Figures 7a–7c in the paper, because it
+  measures the size of the fact/ground-program the solver has to consider
+  rather than the size of the final answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.spack.errors import PackageError, UnknownPackageError
+from repro.spack.package import PackageBase
+from repro.spack.spec import Spec
+
+
+class Repository:
+    """A named collection of package classes."""
+
+    def __init__(self, name: str = "builtin", packages: Iterable[Type[PackageBase]] = ()):
+        self.name = name
+        self._packages: Dict[str, Type[PackageBase]] = {}
+        self._providers: Dict[str, List[str]] = {}
+        self._provider_preferences: Dict[str, List[str]] = {}
+        for cls in packages:
+            self.add(cls)
+
+    # ------------------------------------------------------------------
+    # Registration and lookup
+    # ------------------------------------------------------------------
+
+    def add(self, cls: Type[PackageBase]) -> Type[PackageBase]:
+        """Register a package class (usable as a decorator)."""
+        name = cls.name
+        if name in self._packages and self._packages[name] is not cls:
+            raise PackageError(f"duplicate package {name!r} in repository {self.name!r}")
+        self._packages[name] = cls
+        cls.repository = self
+        for virtual in cls.provided_virtuals():
+            providers = self._providers.setdefault(virtual, [])
+            if name not in providers:
+                providers.append(name)
+        return cls
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+    def __iter__(self):
+        return iter(sorted(self._packages))
+
+    def get(self, name: str) -> Type[PackageBase]:
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise UnknownPackageError(name, self.name) from None
+
+    def all_package_names(self) -> List[str]:
+        return sorted(self._packages)
+
+    def exists(self, name: str) -> bool:
+        return name in self._packages
+
+    # ------------------------------------------------------------------
+    # Virtual packages
+    # ------------------------------------------------------------------
+
+    def is_virtual(self, name: str) -> bool:
+        """A name is virtual when no real package has it but providers do."""
+        return name not in self._packages and name in self._providers
+
+    def virtuals(self) -> List[str]:
+        return sorted(v for v in self._providers if v not in self._packages)
+
+    def providers_for(self, virtual: str) -> List[str]:
+        """Provider package names for a virtual, in preference order."""
+        providers = self._providers.get(virtual, [])
+        preferences = self._provider_preferences.get(virtual)
+        if not preferences:
+            return sorted(providers)
+        ordered = [p for p in preferences if p in providers]
+        ordered += sorted(p for p in providers if p not in ordered)
+        return ordered
+
+    def set_provider_preference(self, virtual: str, providers: Sequence[str]):
+        """Set the preferred provider order for a virtual (user configuration)."""
+        self._provider_preferences[virtual] = list(providers)
+
+    def provider_weights(self, virtual: str) -> Dict[str, int]:
+        """0 = most preferred provider (criterion 4/7 in Table II)."""
+        return {name: weight for weight, name in enumerate(self.providers_for(virtual))}
+
+    # ------------------------------------------------------------------
+    # Possible dependencies (Figures 7a-7c x-axis)
+    # ------------------------------------------------------------------
+
+    def direct_possible_dependencies(self, name: str, expand_virtuals: bool = True) -> Set[str]:
+        """Names a package can directly depend on, conditions ignored."""
+        cls = self.get(name)
+        result: Set[str] = set()
+        for dependency in cls.dependencies:
+            dep_name = dependency.name
+            if expand_virtuals and self.is_virtual(dep_name):
+                result.update(self.providers_for(dep_name))
+            else:
+                result.add(dep_name)
+        return result
+
+    def possible_dependencies(
+        self,
+        *names: str,
+        expand_virtuals: bool = True,
+        include_roots: bool = True,
+        missing: Optional[Set[str]] = None,
+    ) -> Set[str]:
+        """The transitive closure of :meth:`direct_possible_dependencies`.
+
+        Unknown packages encountered along the way are recorded in ``missing``
+        (if given) and otherwise ignored, mirroring Spack's behaviour for
+        packages referenced but not present in the repository.
+        """
+        visited: Set[str] = set()
+        frontier: List[str] = list(names)
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            if not self.exists(current):
+                if self.is_virtual(current):
+                    if expand_virtuals:
+                        frontier.extend(self.providers_for(current))
+                    else:
+                        visited.add(current)
+                    continue
+                if missing is not None:
+                    missing.add(current)
+                continue
+            visited.add(current)
+            for dependency in self.direct_possible_dependencies(current, expand_virtuals):
+                if dependency not in visited:
+                    frontier.append(dependency)
+        if not include_roots:
+            visited -= set(names)
+        return visited
+
+    def possible_dependency_count(self, name: str) -> int:
+        """Size of the possible-dependency set excluding the package itself."""
+        return len(self.possible_dependencies(name, include_roots=False) - {name})
+
+    # ------------------------------------------------------------------
+    # Dependency graph export (used for the Figure 1 style E4S graph)
+    # ------------------------------------------------------------------
+
+    def dependency_edges(self, expand_virtuals: bool = True) -> List[Tuple[str, str]]:
+        """All (package, possible dependency) edges in the repository."""
+        edges: List[Tuple[str, str]] = []
+        for name in self:
+            for dependency in sorted(self.direct_possible_dependencies(name, expand_virtuals)):
+                edges.append((name, dependency))
+        return edges
+
+
+# A process-wide default repository that the builtin packages register into.
+_GLOBAL_REPO: Optional[Repository] = None
+
+
+def builtin_repository(refresh: bool = False) -> Repository:
+    """The builtin E4S-style repository (lazily constructed singleton)."""
+    global _GLOBAL_REPO
+    if _GLOBAL_REPO is None or refresh:
+        from repro.spack.builtin import build_repository
+
+        _GLOBAL_REPO = build_repository()
+    return _GLOBAL_REPO

@@ -1,0 +1,427 @@
+"""The Spec: Spack's dependency-graph data structure.
+
+A :class:`Spec` describes (part of) a software installation: package name,
+version constraints, variants, compiler, target, operating system, and
+dependencies.  *Abstract* specs are under-constrained (what users type on the
+command line, what packages declare in directives); *concrete* specs have
+every parameter pinned and every dependency resolved — they are what the
+concretizer produces and what gets installed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.spack.architecture import TARGETS
+from repro.spack.errors import DuplicateDependencyError, SpackError
+from repro.spack.version import (
+    Version,
+    VersionList,
+    parse_version_constraint,
+)
+
+VariantValue = Union[str, Tuple[str, ...]]
+
+
+def normalize_variant_value(value) -> VariantValue:
+    """Normalize a variant value: booleans become "true"/"false" strings."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return tuple(sorted(normalize_variant_value(v) for v in value))
+    return str(value)
+
+
+def target_matches(value: str, constraint: str) -> bool:
+    """Does a concrete target satisfy a target constraint?
+
+    Constraints may be an exact target (``skylake``), a family (``x86_64``),
+    or a Spack-style open range ``aarch64:`` meaning "this target or anything
+    newer in the same family".
+    """
+    if value == constraint:
+        return True
+    open_range = constraint.endswith(":")
+    base = constraint.rstrip(":")
+    if base not in TARGETS and not TARGETS.is_family(base):
+        return value == base
+    if TARGETS.is_family(base):
+        return value in TARGETS and TARGETS.get(value).family == base
+    if value not in TARGETS:
+        return False
+    target = TARGETS.get(value)
+    reference = TARGETS.get(base)
+    if target.family != reference.family:
+        return False
+    if open_range:
+        return target.generation >= reference.generation
+    return target.name == reference.name
+
+
+class Spec:
+    """A node (and, through ``dependencies``, a DAG) in Spack's build space."""
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        versions: Optional[Union[VersionList, str]] = None,
+        variants: Optional[Dict[str, VariantValue]] = None,
+        compiler: Optional[str] = None,
+        compiler_versions: Optional[Union[VersionList, str]] = None,
+        os: Optional[str] = None,
+        target: Optional[str] = None,
+        dependencies: Optional[Dict[str, "Spec"]] = None,
+    ):
+        self.name = name
+        if isinstance(versions, str):
+            versions = parse_version_constraint(versions)
+        self.versions: VersionList = versions or VersionList()
+        self.variants: Dict[str, VariantValue] = {
+            k: normalize_variant_value(v) for k, v in (variants or {}).items()
+        }
+        self.compiler = compiler
+        if isinstance(compiler_versions, str):
+            compiler_versions = parse_version_constraint(compiler_versions)
+        self.compiler_versions: VersionList = compiler_versions or VersionList()
+        self.os = os
+        self.target = target
+        self.dependencies: Dict[str, "Spec"] = dict(dependencies or {})
+        self.installed_hash: Optional[str] = None
+        self._concrete = False
+        self._dag_hash: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> Version:
+        """The pinned version (only meaningful for concrete specs)."""
+        concrete = self.versions.concrete
+        if concrete is None:
+            raise SpackError(f"spec {self} has no concrete version")
+        return concrete
+
+    @property
+    def concrete(self) -> bool:
+        return self._concrete
+
+    @property
+    def anonymous(self) -> bool:
+        return self.name is None
+
+    def mark_concrete(self, value: bool = True) -> "Spec":
+        self._concrete = value
+        self._dag_hash = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def traverse(self, root: bool = True, order: str = "pre", _visited=None) -> Iterator["Spec"]:
+        """Depth-first traversal over the dependency DAG (deduplicated by name)."""
+        if _visited is None:
+            _visited = set()
+        key = self.name or id(self)
+        if key in _visited:
+            return
+        _visited.add(key)
+        if root and order == "pre":
+            yield self
+        for name in sorted(self.dependencies):
+            yield from self.dependencies[name].traverse(order=order, _visited=_visited)
+        if root and order == "post":
+            yield self
+
+    def flat_dependencies(self) -> Dict[str, "Spec"]:
+        """All transitive dependencies keyed by name (excluding the root)."""
+        return {spec.name: spec for spec in self.traverse(root=False)}
+
+    def __getitem__(self, name: str) -> "Spec":
+        """Look up a transitive dependency by name (Spack's ``spec['zlib']``)."""
+        if self.name == name:
+            return self
+        for spec in self.traverse(root=False):
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    def __contains__(self, name) -> bool:
+        if isinstance(name, Spec):
+            name = name.name
+        try:
+            self[name]
+            return True
+        except KeyError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Constraint operations
+    # ------------------------------------------------------------------
+
+    def constrain(self, other: "Spec") -> "Spec":
+        """Tighten this spec with the constraints of ``other`` (in place).
+
+        Raises :class:`SpackError` when the two are inconsistent.
+        """
+        if other.name is not None:
+            if self.name is None:
+                self.name = other.name
+            elif self.name != other.name:
+                raise SpackError(f"cannot constrain {self.name} with {other.name}")
+
+        self.versions = self.versions.constrain(other.versions)
+
+        for variant, value in other.variants.items():
+            if variant in self.variants and self.variants[variant] != value:
+                raise SpackError(
+                    f"conflicting values for variant {variant!r} on {self.name}: "
+                    f"{self.variants[variant]!r} vs {value!r}"
+                )
+            self.variants[variant] = value
+
+        if other.compiler is not None:
+            if self.compiler is not None and self.compiler != other.compiler:
+                raise SpackError(
+                    f"conflicting compilers on {self.name}: {self.compiler} vs {other.compiler}"
+                )
+            self.compiler = other.compiler
+        self.compiler_versions = self.compiler_versions.constrain(other.compiler_versions)
+
+        for attribute in ("os", "target"):
+            theirs = getattr(other, attribute)
+            mine = getattr(self, attribute)
+            if theirs is not None:
+                if mine is not None and mine != theirs:
+                    raise SpackError(
+                        f"conflicting {attribute} on {self.name}: {mine} vs {theirs}"
+                    )
+                setattr(self, attribute, theirs)
+
+        for name, dependency in other.dependencies.items():
+            if name in self.dependencies:
+                self.dependencies[name].constrain(dependency)
+            else:
+                self.dependencies[name] = dependency.copy()
+        return self
+
+    def satisfies(self, other: Union["Spec", str]) -> bool:
+        """Does this spec satisfy every constraint expressed by ``other``?
+
+        Values that ``other`` constrains but this spec has not pinned yet count
+        as *not* satisfied (the conservative reading used both by ``when=``
+        clause evaluation in the original concretizer and by store queries).
+        """
+        if isinstance(other, str):
+            from repro.spack.spec_parser import parse_spec
+
+            other = parse_spec(other)
+
+        if other.name is not None and self.name != other.name:
+            return False
+
+        if not other.versions.is_any:
+            mine = self.versions.concrete
+            if mine is not None:
+                if not other.versions.includes(mine):
+                    return False
+            elif not self.versions.intersects(other.versions):
+                return False
+            elif self.versions.is_any:
+                return False
+
+        for variant, value in other.variants.items():
+            if self.variants.get(variant) != value:
+                return False
+
+        if other.compiler is not None and self.compiler != other.compiler:
+            return False
+        if not other.compiler_versions.is_any:
+            mine = self.compiler_versions.concrete
+            if mine is None or not other.compiler_versions.includes(mine):
+                return False
+
+        if other.os is not None and self.os != other.os:
+            return False
+        if other.target is not None:
+            if self.target is None or not target_matches(self.target, other.target):
+                return False
+
+        for name, constraint in other.dependencies.items():
+            try:
+                mine = self[name]
+            except KeyError:
+                return False
+            if not mine.satisfies(constraint):
+                return False
+        return True
+
+    def intersects(self, other: "Spec") -> bool:
+        """Could a concrete spec satisfy both this spec and ``other``?"""
+        try:
+            self.copy().constrain(other.copy())
+            return True
+        except SpackError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Copying / serialization
+    # ------------------------------------------------------------------
+
+    def copy(self, deps: bool = True) -> "Spec":
+        clone = Spec(
+            name=self.name,
+            versions=self.versions.copy(),
+            variants=dict(self.variants),
+            compiler=self.compiler,
+            compiler_versions=self.compiler_versions.copy(),
+            os=self.os,
+            target=self.target,
+        )
+        clone.installed_hash = self.installed_hash
+        clone._concrete = self._concrete
+        if deps:
+            clone.dependencies = {
+                name: dep.copy(deps=True) for name, dep in self.dependencies.items()
+            }
+        return clone
+
+    def node_dict(self) -> Dict:
+        """Serializable description of this node (without dependencies)."""
+        return {
+            "name": self.name,
+            "version": str(self.versions),
+            "variants": {k: list(v) if isinstance(v, tuple) else v for k, v in sorted(self.variants.items())},
+            "compiler": self.compiler,
+            "compiler_version": str(self.compiler_versions),
+            "os": self.os,
+            "target": self.target,
+        }
+
+    def to_dict(self) -> Dict:
+        """Serializable description of the full DAG rooted at this spec."""
+        return {
+            "node": self.node_dict(),
+            "hash": self.dag_hash() if self.concrete else None,
+            "dependencies": {
+                name: dependency.to_dict()
+                for name, dependency in sorted(self.dependencies.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Spec":
+        node = data["node"]
+        spec = cls(
+            name=node["name"],
+            versions=node["version"],
+            variants={
+                k: tuple(v) if isinstance(v, list) else v
+                for k, v in node.get("variants", {}).items()
+            },
+            compiler=node.get("compiler"),
+            compiler_versions=node.get("compiler_version", ""),
+            os=node.get("os"),
+            target=node.get("target"),
+        )
+        for name, sub in data.get("dependencies", {}).items():
+            spec.dependencies[name] = cls.from_dict(sub)
+        if data.get("hash"):
+            spec.mark_concrete()
+        return spec
+
+    # ------------------------------------------------------------------
+    # Hashing (Figure 4: per-node hashes for reuse)
+    # ------------------------------------------------------------------
+
+    def dag_hash(self, length: int = 32) -> str:
+        """A content hash of this node and its whole dependency subtree."""
+        if self._dag_hash is None:
+            payload = {
+                "node": self.node_dict(),
+                "dependencies": {
+                    name: self.dependencies[name].dag_hash()
+                    for name in sorted(self.dependencies)
+                },
+            }
+            encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._dag_hash = hashlib.sha256(encoded).hexdigest()
+        return self._dag_hash[:length]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def _node_string(self) -> str:
+        parts: List[str] = []
+        if self.name:
+            parts.append(self.name)
+        if not self.versions.is_any:
+            parts.append(f"@{self.versions}")
+        if self.compiler:
+            compiler = f"%{self.compiler}"
+            if not self.compiler_versions.is_any:
+                compiler += f"@{self.compiler_versions}"
+            parts.append(compiler)
+        for variant in sorted(self.variants):
+            value = self.variants[variant]
+            if value == "true":
+                parts.append(f"+{variant}")
+            elif value == "false":
+                parts.append(f"~{variant}")
+            elif isinstance(value, tuple):
+                parts.append(f"{variant}={','.join(value)}")
+            else:
+                parts.append(f"{variant}={value}")
+        if self.os:
+            parts.append(f"os={self.os}")
+        if self.target:
+            parts.append(f"target={self.target}")
+        return " ".join(parts) if len(parts) > 1 else "".join(parts) or "(anonymous)"
+
+    def format(self) -> str:
+        """Just this node, no dependencies."""
+        return self._node_string()
+
+    def tree(self, indent: int = 0) -> str:
+        """An indented rendering of the whole DAG (like ``spack spec``)."""
+        lines = [" " * indent + self._node_string()]
+        for name in sorted(self.dependencies):
+            lines.append(self.dependencies[name].tree(indent + 4))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        out = self._node_string()
+        for spec in self.traverse(root=False):
+            out += f" ^{spec._node_string()}"
+        return out
+
+    def __repr__(self) -> str:
+        return f"Spec('{self}')"
+
+    # ------------------------------------------------------------------
+    # Equality
+    # ------------------------------------------------------------------
+
+    def _cmp_key(self):
+        return (
+            self.name,
+            str(self.versions),
+            tuple(sorted(self.variants.items())),
+            self.compiler,
+            str(self.compiler_versions),
+            self.os,
+            self.target,
+            tuple(sorted((n, d._cmp_key()) for n, d in self.dependencies.items())),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Spec):
+            return NotImplemented
+        return self._cmp_key() == other._cmp_key()
+
+    def __hash__(self) -> int:
+        return hash(self._cmp_key())

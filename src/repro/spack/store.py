@@ -1,0 +1,117 @@
+"""The installed-package database (store / buildcache).
+
+Every concrete spec installed into the store is identified by its DAG hash
+(Figure 4 in the paper).  The database is what the reuse encoding of Section
+VI draws its ``installed_hash`` / ``imposed_constraint`` facts from, and what
+the Figure 7e–7g experiments grow to tens of thousands of entries.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.spack.errors import SpackError
+from repro.spack.spec import Spec
+from repro.spack.spec_parser import parse_spec
+
+
+class Database:
+    """An in-memory installed-package database keyed by DAG hash."""
+
+    def __init__(self, specs: Iterable[Spec] = ()):
+        self._by_hash: Dict[str, Spec] = {}
+        for spec in specs:
+            self.add(spec)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, spec: Spec) -> str:
+        """Record one concrete spec (its dependencies are *not* added)."""
+        if not spec.concrete:
+            raise SpackError(f"only concrete specs can be installed: {spec}")
+        digest = spec.dag_hash()
+        self._by_hash[digest] = spec
+        return digest
+
+    def install(self, spec: Spec) -> List[str]:
+        """Install a concrete spec and its whole dependency subtree."""
+        digests = []
+        for node in spec.traverse():
+            digests.append(self.add(node))
+        return digests
+
+    def remove(self, digest: str):
+        self._by_hash.pop(digest, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._by_hash
+
+    def lookup(self, digest: str) -> Optional[Spec]:
+        return self._by_hash.get(digest)
+
+    def all_specs(self) -> List[Spec]:
+        return [self._by_hash[d] for d in sorted(self._by_hash)]
+
+    def all_hashes(self) -> List[str]:
+        return sorted(self._by_hash)
+
+    def query(self, constraint: Union[str, Spec, None] = None) -> List[Spec]:
+        """All installed specs satisfying ``constraint`` (all of them if None)."""
+        if constraint is None:
+            return self.all_specs()
+        if isinstance(constraint, str):
+            constraint = parse_spec(constraint)
+        return [spec for spec in self.all_specs() if spec.satisfies(constraint)]
+
+    def installed_names(self) -> List[str]:
+        return sorted({spec.name for spec in self._by_hash.values()})
+
+    # ------------------------------------------------------------------
+    # Serialization (so buildcaches can be saved/restored in benchmarks)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {"database": {digest: spec.to_dict() for digest, spec in self._by_hash.items()}}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Database":
+        database = cls()
+        for _digest, payload in data.get("database", {}).items():
+            spec = Spec.from_dict(payload)
+            spec.mark_concrete()
+            database.add(spec)
+        return database
+
+    @classmethod
+    def from_json(cls, text: str) -> "Database":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+
+    def filtered(self, predicate) -> "Database":
+        """A new database containing only the specs matching ``predicate``.
+
+        Used by the Figure 7e–7g experiment to restrict the buildcache to one
+        architecture and/or operating system.
+        """
+        subset = Database()
+        for spec in self.all_specs():
+            if predicate(spec):
+                subset.add(spec)
+        return subset
+
+    def __repr__(self):
+        return f"<Database with {len(self)} installed specs>"

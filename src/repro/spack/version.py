@@ -1,0 +1,312 @@
+"""Version semantics: versions, ranges, and lists of ranges.
+
+Spack's version syntax (Table I):
+
+* ``@1.10.2``      — a single version.  As a *constraint* it matches any
+  version that equals it or extends it (``1.10.2.1`` satisfies ``1.10.2``),
+  mirroring Spack's prefix semantics.
+* ``@1.0.7:``      — version 1.0.7 or higher (open upper bound).
+* ``@:1.2``        — up to version 1.2 (open lower bound).
+* ``@1.2:1.4``     — an inclusive range.
+* ``@1.2,2.0:``    — a union (comma-separated list of ranges).
+
+Versions compare component-wise; numeric components compare numerically and
+alphanumeric components lexicographically (numbers sort before letters, so
+``1.2 < 1.2a``... actually in Spack letters denote pre/post releases — here we
+keep the simple rule "shorter prefix is smaller when equal so far").
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.spack.errors import VersionError
+
+_SEGMENT_RE = re.compile(r"(\d+|[a-zA-Z]+)")
+_VALID_VERSION_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+@total_ordering
+class Version:
+    """A single software version such as ``1.10.2`` or ``2021.4.0``."""
+
+    __slots__ = ("string", "components")
+
+    def __init__(self, string: Union[str, int, float, "Version"]):
+        if isinstance(string, Version):
+            string = string.string
+        string = str(string)
+        if not string or not _VALID_VERSION_RE.match(string):
+            raise VersionError(f"invalid version string: {string!r}")
+        self.string = string
+        self.components: Tuple = tuple(
+            int(part) if part.isdigit() else part
+            for part in _SEGMENT_RE.findall(string)
+        )
+        if not self.components:
+            raise VersionError(f"version has no components: {string!r}")
+
+    # -- ordering -------------------------------------------------------------
+
+    @staticmethod
+    def _component_key(component) -> Tuple[int, int, str]:
+        if isinstance(component, int):
+            return (1, component, "")
+        return (0, 0, component)  # letters sort before numbers (pre-releases)
+
+    def _key(self) -> Tuple:
+        return tuple(self._component_key(c) for c in self.components)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self.components == other.components
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __hash__(self) -> int:
+        return hash(self.components)
+
+    # -- semantics ----------------------------------------------------------------
+
+    def is_prefix_of(self, other: "Version") -> bool:
+        """True when ``other`` extends this version (1.10 is a prefix of 1.10.2)."""
+        return other.components[: len(self.components)] == self.components
+
+    def satisfies(self, constraint: "VersionConstraint") -> bool:
+        """True when this version lies within ``constraint``."""
+        return constraint_includes(constraint, self)
+
+    def up_to(self, index: int) -> "Version":
+        """The version truncated to ``index`` components (``Version('1.2.3').up_to(2)`` is 1.2)."""
+        parts = self.string.replace("-", ".").split(".")
+        return Version(".".join(parts[:index]))
+
+    def __str__(self) -> str:
+        return self.string
+
+    def __repr__(self) -> str:
+        return f"Version('{self.string}')"
+
+
+@total_ordering
+class VersionRange:
+    """An inclusive version range with optionally open ends (``1.2:1.4``)."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Optional[Version], high: Optional[Version]):
+        self.low = Version(low) if low is not None and not isinstance(low, Version) else low
+        self.high = Version(high) if high is not None and not isinstance(high, Version) else high
+        if self.low is not None and self.high is not None and self.high < self.low:
+            raise VersionError(f"empty version range: {self}")
+
+    def includes(self, version: Version) -> bool:
+        if self.low is not None:
+            # the lower bound is inclusive, and a prefix-extension of the
+            # bound (1.0.7.1 for bound 1.0.7) is above it
+            if version < self.low and not self.low.is_prefix_of(version):
+                return False
+        if self.high is not None:
+            # the upper bound is inclusive *including* prefix extensions:
+            # 1.4.9 satisfies ":1.4" (Spack semantics)
+            if version > self.high and not self.high.is_prefix_of(version):
+                return False
+        return True
+
+    def intersects(self, other: "VersionRange") -> bool:
+        lows = [r for r in (self.low, other.low) if r is not None]
+        highs = [r for r in (self.high, other.high) if r is not None]
+        low = max(lows) if lows else None
+        high = min(highs) if highs else None
+        if low is None or high is None:
+            return True
+        return low <= high or low.is_prefix_of(high) or high.is_prefix_of(low)
+
+    def _key(self):
+        low_key = self.low._key() if self.low is not None else ()
+        high_key = self.high._key() if self.high is not None else ((2, 0, ""),)
+        return (low_key, high_key)
+
+    def __eq__(self, other):
+        if not isinstance(other, VersionRange):
+            return NotImplemented
+        return (self.low, self.high) == (other.low, other.high)
+
+    def __lt__(self, other):
+        if not isinstance(other, VersionRange):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __hash__(self):
+        return hash((self.low, self.high))
+
+    def __str__(self):
+        low = str(self.low) if self.low is not None else ""
+        high = str(self.high) if self.high is not None else ""
+        return f"{low}:{high}"
+
+    def __repr__(self):
+        return f"VersionRange('{self}')"
+
+
+VersionConstraint = Union[Version, VersionRange, "VersionList"]
+
+
+def constraint_includes(constraint: VersionConstraint, version: Version) -> bool:
+    """Does ``version`` satisfy ``constraint``?
+
+    A plain :class:`Version` used as a constraint matches itself and any
+    version it is a prefix of (Spack's ``@1.10`` semantics).
+    """
+    if isinstance(constraint, Version):
+        return version == constraint or constraint.is_prefix_of(version)
+    if isinstance(constraint, VersionRange):
+        return constraint.includes(version)
+    if isinstance(constraint, VersionList):
+        return constraint.includes(version)
+    raise TypeError(f"not a version constraint: {constraint!r}")
+
+
+class VersionList:
+    """A union of versions and ranges, e.g. ``1.2,2.0:2.4``.
+
+    An empty :class:`VersionList` places no constraint ("any version").
+    """
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, constraints: Iterable[Union[Version, VersionRange, str]] = ()):
+        parsed: List[Union[Version, VersionRange]] = []
+        for constraint in constraints:
+            if isinstance(constraint, (Version, VersionRange)):
+                parsed.append(constraint)
+            else:
+                parsed.append(parse_single_constraint(str(constraint)))
+        self.constraints: Tuple[Union[Version, VersionRange], ...] = tuple(parsed)
+
+    # -- classification -----------------------------------------------------------
+
+    @property
+    def is_any(self) -> bool:
+        return not self.constraints
+
+    @property
+    def concrete(self) -> Optional[Version]:
+        """The single exact version, if this list pins one."""
+        if len(self.constraints) == 1 and isinstance(self.constraints[0], Version):
+            return self.constraints[0]
+        return None
+
+    # -- semantics ----------------------------------------------------------------
+
+    def includes(self, version: Version) -> bool:
+        if not self.constraints:
+            return True
+        return any(constraint_includes(c, version) for c in self.constraints)
+
+    def satisfies(self, other: "VersionList") -> bool:
+        """Rough subset check used by abstract-spec satisfaction.
+
+        A concrete version list satisfies ``other`` iff its version is
+        included; for non-concrete lists we fall back to an intersection
+        check (sound for the way the original concretizer uses it).
+        """
+        if other.is_any:
+            return True
+        concrete = self.concrete
+        if concrete is not None:
+            return other.includes(concrete)
+        return self.intersects(other)
+
+    def intersects(self, other: "VersionList") -> bool:
+        if self.is_any or other.is_any:
+            return True
+        for mine in self.constraints:
+            for theirs in other.constraints:
+                if _constraints_intersect(mine, theirs):
+                    return True
+        return False
+
+    def constrain(self, other: "VersionList") -> "VersionList":
+        """The conjunction of two constraints (kept as a concatenated list)."""
+        if self.is_any:
+            return VersionList(other.constraints)
+        if other.is_any:
+            return VersionList(self.constraints)
+        if not self.intersects(other):
+            raise VersionError(f"inconsistent version constraints: {self} and {other}")
+        merged = list(self.constraints)
+        for constraint in other.constraints:
+            if constraint not in merged:
+                merged.append(constraint)
+        return VersionList(merged)
+
+    def copy(self) -> "VersionList":
+        return VersionList(self.constraints)
+
+    # -- misc ----------------------------------------------------------------------
+
+    def __bool__(self):
+        return bool(self.constraints)
+
+    def __eq__(self, other):
+        if not isinstance(other, VersionList):
+            return NotImplemented
+        return set(map(str, self.constraints)) == set(map(str, other.constraints))
+
+    def __hash__(self):
+        return hash(frozenset(map(str, self.constraints)))
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __str__(self):
+        return ",".join(str(c) for c in self.constraints)
+
+    def __repr__(self):
+        return f"VersionList('{self}')"
+
+
+def _constraints_intersect(a, b) -> bool:
+    if isinstance(a, Version) and isinstance(b, Version):
+        return a == b or a.is_prefix_of(b) or b.is_prefix_of(a)
+    if isinstance(a, Version):
+        return constraint_includes(b, a)
+    if isinstance(b, Version):
+        return constraint_includes(a, b)
+    return a.intersects(b)
+
+
+def parse_single_constraint(text: str) -> Union[Version, VersionRange]:
+    """Parse one constraint item: ``1.2``, ``1.2:``, ``:1.4``, or ``1.2:1.4``."""
+    text = text.strip()
+    if not text:
+        raise VersionError("empty version constraint")
+    if ":" in text:
+        low_text, _, high_text = text.partition(":")
+        low = Version(low_text) if low_text else None
+        high = Version(high_text) if high_text else None
+        return VersionRange(low, high)
+    return Version(text)
+
+
+def parse_version_constraint(text: str) -> VersionList:
+    """Parse a comma-separated union of version constraints."""
+    text = text.strip()
+    if not text:
+        return VersionList()
+    return VersionList(parse_single_constraint(part) for part in text.split(","))
+
+
+def ver(text: Union[str, int, float]) -> Union[Version, VersionRange, VersionList]:
+    """Spack-style convenience constructor: ``ver('1.2:1.4')`` etc."""
+    text = str(text)
+    if "," in text:
+        return parse_version_constraint(text)
+    return parse_single_constraint(text)

@@ -1,0 +1,17 @@
+"""Workload builders for the paper's experiments (E4S stack, buildcaches)."""
+
+from repro.spack.workloads.e4s import (
+    E4S_ROOTS,
+    build_buildcache,
+    buildcache_subsets,
+    e4s_root_specs,
+    e4s_graph_statistics,
+)
+
+__all__ = [
+    "E4S_ROOTS",
+    "build_buildcache",
+    "buildcache_subsets",
+    "e4s_root_specs",
+    "e4s_graph_statistics",
+]

@@ -1,0 +1,184 @@
+"""An E4S-like software stack and buildcache builder.
+
+The Extreme-scale Scientific Software Stack (E4S) the paper evaluates on has
+around 100 core products and ~500 required dependencies (Figure 1), and its
+buildcache contains 60k+ prebuilt binaries spanning several architectures,
+operating systems and compilers (Figures 7e–7g).
+
+Here we define a representative set of E4S root products drawn from the
+builtin catalog, plus helpers to
+
+* compute the dependency-graph statistics behind Figure 1;
+* populate buildcaches of increasing size by concretizing and "installing"
+  the stack under several (target, os, compiler) combinations;
+* carve architecture/OS-restricted subsets out of a buildcache, mirroring the
+  ppc64le / rhel7 restrictions used in Figure 7e–7g.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.spack.architecture import Platform, default_platform
+from repro.spack.compilers import CompilerRegistry
+from repro.spack.concretize.concretizer import Concretizer
+from repro.spack.repo import Repository, builtin_repository
+from repro.spack.spec import Spec
+from repro.spack.spec_parser import parse_spec
+from repro.spack.store import Database
+
+#: E4S core products present in the builtin catalog (the "red nodes" of Fig. 1).
+E4S_ROOTS: Tuple[str, ...] = (
+    "adios2",
+    "amrex",
+    "ascent",
+    "axom",
+    "berkeleygw",
+    "cabana",
+    "caliper",
+    "conduit",
+    "darshan-runtime",
+    "dyninst",
+    "flecsi",
+    "flux-core",
+    "ginkgo",
+    "heffte",
+    "hdf5",
+    "hpctoolkit",
+    "hpx",
+    "hypre",
+    "kokkos",
+    "kokkos-kernels",
+    "legion",
+    "magma",
+    "mercury",
+    "mfem",
+    "mpifileutils",
+    "netcdf-c",
+    "openpmd-api",
+    "papi",
+    "papyrus",
+    "parallel-netcdf",
+    "petsc",
+    "precice",
+    "pumi",
+    "raja",
+    "scr",
+    "slate",
+    "slepc",
+    "strumpack",
+    "sundials",
+    "superlu-dist",
+    "sz",
+    "tasmanian",
+    "tau",
+    "trilinos",
+    "umpire",
+    "unifyfs",
+    "upcxx",
+    "vtk-m",
+    "warpx",
+    "zfp",
+)
+
+
+def e4s_root_specs(repo: Optional[Repository] = None, limit: Optional[int] = None) -> List[Spec]:
+    """Abstract specs for the E4S roots available in ``repo``."""
+    repo = repo or builtin_repository()
+    names = [name for name in E4S_ROOTS if repo.exists(name)]
+    if limit is not None:
+        names = names[:limit]
+    return [parse_spec(name) for name in names]
+
+
+def e4s_graph_statistics(repo: Optional[Repository] = None) -> Dict[str, object]:
+    """Node/edge statistics of the E4S possible-dependency graph (Figure 1)."""
+    repo = repo or builtin_repository()
+    roots = [name for name in E4S_ROOTS if repo.exists(name)]
+    all_packages = repo.possible_dependencies(*roots)
+    dependencies = sorted(all_packages - set(roots))
+    edges = [
+        (package, dependency)
+        for package in sorted(all_packages)
+        if repo.exists(package)
+        for dependency in sorted(repo.direct_possible_dependencies(package))
+        if dependency in all_packages
+    ]
+    return {
+        "roots": sorted(roots),
+        "num_roots": len(roots),
+        "num_dependencies": len(dependencies),
+        "num_packages": len(all_packages),
+        "num_edges": len(edges),
+        "edges": edges,
+    }
+
+
+#: (target, os, compiler spec) combinations used to fill the buildcache, the
+#: analogue of E4S's per-system binary builds.
+BUILDCACHE_CONFIGURATIONS: Tuple[Tuple[str, str, str], ...] = (
+    ("skylake", "rhel7", "gcc@11.2.0"),
+    ("broadwell", "rhel7", "gcc@10.3.1"),
+    ("haswell", "centos8", "gcc@11.2.0"),
+    ("power9le", "rhel7", "gcc@11.2.0"),
+    ("power8le", "rhel8", "gcc@10.3.1"),
+    ("x86_64", "ubuntu20.04", "clang@14.0.6"),
+)
+
+
+def _platform_for(target: str, operating_system: str) -> Platform:
+    from repro.spack.architecture import TARGETS
+
+    family = TARGETS.get(target).family
+    return Platform(
+        name="linux",
+        family=family,
+        default_target=target,
+        default_os=operating_system,
+    )
+
+
+def build_buildcache(
+    roots: Sequence[str],
+    repo: Optional[Repository] = None,
+    configurations: Sequence[Tuple[str, str, str]] = BUILDCACHE_CONFIGURATIONS,
+    database: Optional[Database] = None,
+) -> Database:
+    """Concretize ``roots`` under several configurations and install them all.
+
+    This is how the experiments obtain buildcaches of increasing size: more
+    configurations (or more roots) mean more installed hashes.
+    """
+    repo = repo or builtin_repository()
+    database = database or Database()
+    for target, operating_system, compiler in configurations:
+        platform = _platform_for(target, operating_system)
+        concretizer = Concretizer(repo=repo, platform=platform)
+        for root in roots:
+            request = f"{root} %{compiler} target={target} os={operating_system}"
+            result = concretizer.concretize(request)
+            database.install(result.spec)
+    return database
+
+
+def buildcache_subsets(database: Database) -> Dict[str, Database]:
+    """The four nested buildcache subsets used in Figures 7e–7g.
+
+    Returns databases keyed by a label: full, one architecture family
+    (ppc64le), one OS (rhel7), and the intersection of both.
+    """
+    from repro.spack.architecture import TARGETS
+
+    def family_of(spec: Spec) -> str:
+        if spec.target and spec.target in TARGETS:
+            return TARGETS.get(spec.target).family
+        return "unknown"
+
+    return {
+        "full": database,
+        "ppc64le": database.filtered(lambda s: family_of(s) == "ppc64le"),
+        "rhel7": database.filtered(lambda s: s.os == "rhel7"),
+        "ppc64le+rhel7": database.filtered(
+            lambda s: family_of(s) == "ppc64le" and s.os == "rhel7"
+        ),
+    }

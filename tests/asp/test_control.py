@@ -1,0 +1,118 @@
+"""Control facade, configs, statistics, and Model accessors."""
+
+import pytest
+
+from repro.asp.configs import SolverConfig
+from repro.asp.control import Control, Model, solve_program
+from repro.asp.syntax import ground_atom
+
+
+class TestControl:
+    def test_add_facts_programmatically(self):
+        control = Control()
+        control.load("node(D) :- node(P), depends_on(P, D).")
+        control.add_fact("node", "hdf5")
+        control.add_fact("depends_on", "hdf5", "zlib")
+        control.ground()
+        result = control.solve()
+        assert result.satisfiable
+        assert result.model.holds("node", "zlib")
+
+    def test_add_facts_iterable(self):
+        control = Control()
+        control.add_facts([("p", 1), ("p", 2)])
+        control.load("q(X) :- p(X).")
+        result = control.solve()
+        assert len(result.model.atoms("q")) == 2
+
+    def test_boolean_fact_arguments_become_integers(self):
+        control = Control()
+        control.add_fact("flag", "x", True)
+        control.load("on(X) :- flag(X, 1).")
+        result = control.solve()
+        assert result.model.holds("on", "x")
+
+    def test_ground_called_automatically_by_solve(self):
+        control = Control()
+        control.load("a.")
+        result = control.solve()
+        assert result.satisfiable
+
+    def test_timings_cover_all_phases(self):
+        control = Control()
+        control.load("a. b :- a.")
+        control.ground()
+        result = control.solve()
+        for phase in ("load", "ground", "solve", "total"):
+            assert phase in result.timings
+            assert result.timings[phase] >= 0.0
+
+    def test_statistics_structure(self):
+        result = solve_program("a. b :- a.")
+        assert "ground" in result.statistics
+        assert "solver" in result.statistics
+        assert "optimization" in result.statistics
+        assert result.statistics["ground"]["atoms"] >= 2
+
+    def test_unsat_result_is_falsy(self):
+        result = solve_program("a. :- a.")
+        assert not result
+        assert result.model is None
+
+    def test_sat_result_is_truthy(self):
+        assert solve_program("a.")
+
+
+class TestModel:
+    def test_atoms_by_predicate(self):
+        model = Model([("p", "a"), ("p", "b"), ("q", 1)])
+        assert len(model.atoms("p")) == 2
+        assert model.arguments("q") == [(1,)]
+        assert len(model) == 3
+
+    def test_holds(self):
+        model = Model([("p", "a")])
+        assert model.holds("p", "a")
+        assert not model.holds("p", "b")
+
+    def test_contains(self):
+        model = Model([("p", "a")])
+        assert ground_atom("p", "a") in model
+
+    def test_cost_tuple_ordering(self):
+        model = Model([], costs={1: 5, 10: 0, 3: 2})
+        assert model.cost_tuple() == (0, 2, 5)
+
+
+class TestSolverConfig:
+    def test_known_presets(self):
+        names = set(SolverConfig.presets())
+        assert {"tweety", "trendy", "handy", "frumpy", "jumpy", "crafty"} <= names
+
+    def test_preset_lookup(self):
+        tweety = SolverConfig.preset("tweety")
+        assert tweety.name == "tweety"
+        assert tweety.heuristic == "vsids"
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            SolverConfig.preset("nonexistent")
+
+    def test_with_overrides(self):
+        config = SolverConfig.preset("tweety").with_overrides(restart_base=7)
+        assert config.restart_base == 7
+        assert SolverConfig.preset("tweety").restart_base != 7
+
+    def test_presets_differ(self):
+        tweety = SolverConfig.preset("tweety")
+        handy = SolverConfig.preset("handy")
+        assert tweety != handy
+
+    @pytest.mark.parametrize("name", ["tweety", "trendy", "handy", "frumpy", "jumpy", "crafty"])
+    def test_every_preset_solves(self, name):
+        result = solve_program(
+            "a :- not b. b :- not a. :- b.",
+            config=SolverConfig.preset(name),
+        )
+        assert result.satisfiable
+        assert result.model.holds("a")

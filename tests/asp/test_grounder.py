@@ -1,0 +1,203 @@
+"""Grounder tests: first-order programs -> ground programs."""
+
+import pytest
+
+from repro.asp.errors import GroundingError
+from repro.asp.grounder import Grounder, ground_program
+from repro.asp.parser import parse_program
+from repro.asp.syntax import ground_atom
+
+
+def ground(text, facts=()):
+    return ground_program(parse_program(text), facts)
+
+
+def atom_strings(ground_prog):
+    return {ground_prog.format_atom(i) for i, _ in ground_prog.atoms.atoms()}
+
+
+class TestFacts:
+    def test_facts_are_certain(self):
+        result = ground("a. b. c.")
+        assert len(result.facts) == 3
+
+    def test_programmatic_facts(self):
+        result = ground("node(D) :- edge(S, D).", facts=[("edge", "a", "b")])
+        assert ground_atom("node", "b") in [result.atoms.atom(r.head) for r in result.rules] or (
+            result.atoms.lookup(ground_atom("node", "b")) in result.facts
+        )
+
+    def test_derived_fact_from_certain_body(self):
+        result = ground("edge(a, b). node(D) :- edge(S, D).")
+        node_b = result.atoms.lookup(("node", "b"))
+        assert node_b in result.facts
+
+
+class TestRuleInstantiation:
+    def test_transitive_closure(self):
+        result = ground(
+            """
+            edge(a, b). edge(b, c). edge(c, d).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        atoms = atom_strings(result)
+        assert 'path("a","d")' in atoms
+        assert 'path("a","c")' in atoms
+        assert 'path("b","d")' in atoms
+        assert 'path("d","a")' not in atoms
+
+    def test_negative_literals_preserved(self):
+        result = ground(
+            """
+            p(a). p(b). q(a).
+            r(X) :- p(X), not q(X).
+            """
+        )
+        # r(a) cannot fire (q(a) is certain); r(b) keeps its negative literal
+        # only if q(b) could ever be true -- it cannot, so r(b) is a fact.
+        assert result.atoms.lookup(("r", "a")) is None or not any(
+            rule.head == result.atoms.lookup(("r", "a")) for rule in result.rules
+        )
+
+    def test_comparison_filters_instances(self):
+        result = ground(
+            """
+            w(a, 1). w(b, 5).
+            heavy(X) :- w(X, N), N > 3.
+            """
+        )
+        atoms = atom_strings(result)
+        assert 'heavy("b")' in atoms
+        assert 'heavy("a")' not in atoms
+
+    def test_inequality_join(self):
+        result = ground(
+            """
+            c(a, 1). c(b, 2).
+            mismatch(X, Y) :- c(X, V1), c(Y, V2), V1 != V2.
+            """
+        )
+        atoms = atom_strings(result)
+        assert 'mismatch("a","b")' in atoms
+        assert 'mismatch("b","a")' in atoms
+        assert 'mismatch("a","a")' not in atoms
+
+    def test_arithmetic_in_head(self):
+        result = ground("w(a, 3). shifted(X, N+10) :- w(X, N).")
+        assert 'shifted("a",13)' in atom_strings(result)
+
+    def test_unsafe_head_variable_raises(self):
+        with pytest.raises(GroundingError):
+            ground("head(X, Y) :- body(X).")
+
+    def test_unsafe_negative_literal_raises(self):
+        with pytest.raises(GroundingError):
+            ground("p(X) :- q(X), not r(Y).")
+
+    def test_rules_depending_on_choice_candidates(self):
+        result = ground(
+            """
+            option(a). option(b).
+            1 { pick(X) : option(X) } 1.
+            picked_something :- pick(X).
+            """
+        )
+        # picked_something must have rules for both possible picks
+        heads = [result.atoms.atom(rule.head) for rule in result.rules]
+        assert heads.count(("picked_something",)) == 2
+
+
+class TestChoices:
+    def test_choice_candidates_from_condition(self):
+        result = ground(
+            """
+            node(p). possible(p, v1). possible(p, v2).
+            1 { version(P, V) : possible(P, V) } 1 :- node(P).
+            """
+        )
+        assert len(result.choices) == 1
+        choice = result.choices[0]
+        assert len(choice.atoms) == 2
+        assert choice.lower == 1 and choice.upper == 1
+
+    def test_choice_without_candidates(self):
+        result = ground(
+            """
+            node(p).
+            1 { version(P, V) : possible(P, V) } 1 :- node(P).
+            """
+        )
+        assert len(result.choices) == 1
+        assert result.choices[0].atoms == ()
+
+    def test_choice_bound_none(self):
+        result = ground("{ a; b } 1.")
+        assert result.choices[0].lower is None
+        assert result.choices[0].upper == 1
+
+
+class TestConditionalLiterals:
+    def test_expansion_over_facts(self):
+        result = ground(
+            """
+            condition(1).
+            requirement(1, needed_a).
+            requirement(1, needed_b).
+            holds(ID) :- condition(ID); met(R) : requirement(ID, R).
+            """
+        )
+        rules = [r for r in result.rules if result.atoms.atom(r.head)[0] == "holds"]
+        assert len(rules) == 1
+        body_atoms = {result.atoms.atom(a) for a in rules[0].pos}
+        assert ("met", "needed_a") in body_atoms
+        assert ("met", "needed_b") in body_atoms
+
+    def test_empty_expansion_means_trivially_true(self):
+        result = ground(
+            """
+            condition(1).
+            holds(ID) :- condition(ID); met(R) : requirement(ID, R).
+            """
+        )
+        holds = result.atoms.lookup(("holds", 1))
+        assert holds in result.facts
+
+
+class TestConstraintsAndMinimize:
+    def test_constraint_grounding(self):
+        result = ground(
+            """
+            p(a). p(b). q(b).
+            :- p(X), q(X).
+            """
+        )
+        assert len(result.constraints) == 1
+
+    def test_minimize_grounding(self):
+        result = ground(
+            """
+            w(a, 1). w(b, 2).
+            chosen(X) :- w(X, N).
+            #minimize { N@3,X : chosen(X), w(X, N) }.
+            """
+        )
+        assert len(result.minimize_literals) == 2
+        priorities = {m.priority for m in result.minimize_literals}
+        assert priorities == {3}
+
+    def test_minimize_arithmetic_priority(self):
+        result = ground(
+            """
+            w(a, 1). prio(a, 200).
+            #minimize { N@2+P,X : w(X, N), prio(X, P) }.
+            """
+        )
+        assert result.minimize_literals[0].priority == 202
+
+    def test_statistics(self):
+        result = ground("a. b :- a. :- c.")
+        stats = result.statistics()
+        assert stats["facts"] >= 1
+        assert stats["constraints"] == 0  # ":- c" is dropped: c can never hold

@@ -1,0 +1,103 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.asp.errors import ParseError
+from repro.asp.lexer import (
+    DIRECTIVE,
+    IDENTIFIER,
+    NUMBER,
+    PUNCT,
+    STRING,
+    VARIABLE,
+    iter_statements,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop END
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+class TestTokenize:
+    def test_simple_fact(self):
+        assert kinds('node("hdf5").') == [IDENTIFIER, PUNCT, STRING, PUNCT, PUNCT]
+
+    def test_variables_and_identifiers(self):
+        assert kinds("node(Package)") == [IDENTIFIER, PUNCT, VARIABLE, PUNCT]
+        assert kinds("node(package)") == [IDENTIFIER, PUNCT, IDENTIFIER, PUNCT]
+
+    def test_underscore_is_variable(self):
+        tokens = tokenize("p(_)")
+        assert tokens[2].kind == VARIABLE
+        assert tokens[2].value == "_"
+
+    def test_numbers(self):
+        assert kinds("w(3, 15)") == [IDENTIFIER, PUNCT, NUMBER, PUNCT, NUMBER, PUNCT]
+
+    def test_rule_arrow(self):
+        assert ":-" in values("a :- b.")
+
+    def test_not_keyword(self):
+        tokens = tokenize("a :- not b.")
+        assert ("PUNCT", "not") in [(t.kind, t.value) for t in tokens]
+
+    def test_comparison_operators(self):
+        assert values("A != B") == ["A", "!=", "B"]
+        assert values("A <= B") == ["A", "<=", "B"]
+        assert values("A >= B") == ["A", ">=", "B"]
+        assert values("A == B") == ["A", "=", "B"]
+
+    def test_directive(self):
+        tokens = tokenize("#minimize { 1@2,P : b(P) }.")
+        assert tokens[0].kind == DIRECTIVE
+        assert tokens[0].value == "#minimize"
+
+    def test_string_with_special_characters(self):
+        tokens = tokenize('version("1.2.8:", "a-b_c").')
+        assert tokens[2].value == "1.2.8:"
+        assert tokens[4].value == "a-b_c"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'p("a\"b").')
+        assert tokens[2].value == 'a"b'
+
+    def test_line_comments_are_skipped(self):
+        assert values("a. % comment here\nb.") == ["a", ".", "b", "."]
+
+    def test_block_comments_are_skipped(self):
+        assert values("a. %* multi\nline *% b.") == ["a", ".", "b", "."]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a.\n  b.")
+        assert tokens[0].line == 1
+        assert tokens[2].line == 2
+        assert tokens[2].column == 3
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize('p("unterminated')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a ? b.")
+
+    def test_arithmetic_tokens(self):
+        assert values("2+Priority") == ["2", "+", "Priority"]
+
+
+class TestIterStatements:
+    def test_splits_on_period(self):
+        statements = list(iter_statements(tokenize("a. b :- a. :- c.")))
+        assert len(statements) == 3
+
+    def test_missing_final_period_raises(self):
+        with pytest.raises(ParseError):
+            list(iter_statements(tokenize("a. b :- a")))
+
+    def test_empty_program(self):
+        assert list(iter_statements(tokenize("% only a comment\n"))) == []

@@ -1,0 +1,189 @@
+"""Parser tests: text -> AST."""
+
+import pytest
+
+from repro.asp.errors import ParseError
+from repro.asp.parser import parse_program, parse_statement
+from repro.asp.syntax import (
+    Atom,
+    BinaryOp,
+    Choice,
+    Comparison,
+    ConditionalLiteral,
+    Constant,
+    Literal,
+    Minimize,
+    Number,
+    Rule,
+    String,
+    Variable,
+)
+
+
+class TestFactsAndRules:
+    def test_fact(self):
+        statement = parse_statement('node("hdf5").')
+        assert isinstance(statement, Rule)
+        assert statement.is_fact
+        assert statement.head == Atom("node", (String("hdf5"),))
+
+    def test_fact_with_constant_and_number(self):
+        statement = parse_statement("version_weight(zlib, 3).")
+        assert statement.head.arguments == (Constant("zlib"), Number(3))
+
+    def test_zero_arity_fact(self):
+        statement = parse_statement("optimize_for_reuse.")
+        assert statement.head == Atom("optimize_for_reuse")
+
+    def test_simple_rule(self):
+        statement = parse_statement("node(D) :- node(P), depends_on(P, D).")
+        assert statement.head == Atom("node", (Variable("D"),))
+        assert len(statement.body) == 2
+        assert all(isinstance(b, Literal) for b in statement.body)
+
+    def test_negated_literal(self):
+        statement = parse_statement("build(P) :- node(P), not reused(P).")
+        assert statement.body[1].negated
+
+    def test_integrity_constraint(self):
+        statement = parse_statement(":- depends_on(P, P).")
+        assert statement.is_constraint
+        assert statement.head is None
+
+    def test_comparison_in_body(self):
+        statement = parse_statement("bad(P) :- weight(P, W), W > 3.")
+        assert isinstance(statement.body[1], Comparison)
+        assert statement.body[1].op == ">"
+
+    def test_inequality_between_variables(self):
+        statement = parse_statement("m(P, D) :- a(P, C1), b(D, C2), C1 != C2.")
+        comparison = statement.body[2]
+        assert isinstance(comparison, Comparison)
+        assert comparison.op == "!="
+
+    def test_body_with_semicolon_separators(self):
+        statement = parse_statement("a :- b; c; d.")
+        assert len(statement.body) == 3
+
+    def test_missing_period_is_error(self):
+        with pytest.raises(ParseError):
+            parse_program("a :- b")
+
+    def test_trailing_garbage_is_error(self):
+        with pytest.raises(ParseError):
+            parse_statement("a :- b c.")
+
+
+class TestConditionalLiterals:
+    def test_conditional_literal_in_body(self):
+        statement = parse_statement(
+            "holds(ID) :- condition(ID); attr(N, A) : requirement(ID, N, A)."
+        )
+        assert isinstance(statement.body[0], Literal)
+        conditional = statement.body[1]
+        assert isinstance(conditional, ConditionalLiteral)
+        assert conditional.literal.atom.name == "attr"
+        assert conditional.condition[0].atom.name == "requirement"
+
+    def test_multiple_conditional_literals(self):
+        statement = parse_statement(
+            "holds(ID) :- condition(ID); a(X) : r1(ID, X); b(X, Y) : r2(ID, X, Y)."
+        )
+        conditionals = [b for b in statement.body if isinstance(b, ConditionalLiteral)]
+        assert len(conditionals) == 2
+
+    def test_condition_with_multiple_literals(self):
+        statement = parse_statement("ok :- a(X) : b(X), c(X).")
+        conditional = statement.body[0]
+        assert len(conditional.condition) == 2
+
+
+class TestChoices:
+    def test_choice_with_bounds(self):
+        statement = parse_statement(
+            "1 { version(P, V) : possible_version(P, V) } 1 :- node(P)."
+        )
+        assert isinstance(statement.head, Choice)
+        assert statement.head.lower == Number(1)
+        assert statement.head.upper == Number(1)
+        assert statement.head.elements[0].atom.name == "version"
+
+    def test_choice_without_upper_bound(self):
+        statement = parse_statement("1 { value(P, V) : possible(P, V) } :- node(P).")
+        assert statement.head.lower == Number(1)
+        assert statement.head.upper is None
+
+    def test_choice_without_lower_bound(self):
+        statement = parse_statement("{ hash(P, H) : installed(P, H) } 1 :- node(P).")
+        assert statement.head.lower is None
+        assert statement.head.upper == Number(1)
+
+    def test_choice_fact_with_plain_elements(self):
+        statement = parse_statement("1 { node(a); node(b) }.")
+        assert isinstance(statement.head, Choice)
+        assert len(statement.head.elements) == 2
+        assert statement.body == ()
+
+
+class TestMinimize:
+    def test_minimize_statement(self):
+        statement = parse_statement("#minimize { W@3,P,V : version_weight(P, V, W) }.")
+        assert isinstance(statement, Minimize)
+        element = statement.elements[0]
+        assert element.weight == Variable("W")
+        assert element.priority == Number(3)
+        assert element.terms == (Variable("P"), Variable("V"))
+
+    def test_minimize_with_arithmetic_priority(self):
+        statement = parse_statement(
+            "#minimize { W@2+Priority,P : w(P, W), prio(P, Priority) }."
+        )
+        element = statement.elements[0]
+        assert isinstance(element.priority, BinaryOp)
+
+    def test_minimize_with_constant_weight(self):
+        statement = parse_statement("#minimize { 1@100,P : build(P) }.")
+        element = statement.elements[0]
+        assert element.weight == Number(1)
+        assert element.priority == Number(100)
+
+    def test_maximize_negates_weights(self):
+        statement = parse_statement("#maximize { 1@2,P : good(P) }.")
+        element = statement.elements[0]
+        assert isinstance(element.weight, BinaryOp)
+
+    def test_multiple_elements(self):
+        statement = parse_statement("#minimize { 1@1,P : a(P); 2@1,Q : b(Q) }.")
+        assert len(statement.elements) == 2
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("#external foo.")
+
+
+class TestWholePrograms:
+    def test_paper_figure3_program(self):
+        text = """
+        depends_on(a, b).
+        depends_on(a, c).
+        depends_on(b, d).
+        depends_on(c, d).
+        node(Dep) :- node(Pkg), depends_on(Pkg, Dep).
+        1 { node(a); node(b) }.
+        """
+        program = parse_program(text)
+        assert len(program.rules) == 6
+        assert len(program.minimizes) == 0
+
+    def test_roundtrip_through_str(self):
+        text = 'node(D) :- node(P), depends_on(P, D), not excluded(D).'
+        statement = parse_statement(text)
+        reparsed = parse_statement(str(statement))
+        assert str(reparsed) == str(statement)
+
+    def test_logic_program_parses(self):
+        from repro.spack.concretize.logic import logic_program
+
+        program = parse_program(logic_program())
+        assert len(program.rules) > 50
+        assert len(program.minimizes) == 16

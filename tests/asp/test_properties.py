@@ -1,0 +1,183 @@
+"""Property-based tests for the ASP core (hypothesis).
+
+The key invariant: for small random programs, the CDCL-based engine agrees
+with a brute-force stable-model enumerator on satisfiability, and any model it
+returns *is* a stable model.
+"""
+
+from itertools import chain, combinations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asp.control import solve_program
+from repro.asp.solver import CDCLSolver
+from repro.asp.syntax import compare_ground_values
+
+ATOMS = ["a", "b", "c", "d"]
+
+
+# ---------------------------------------------------------------------------
+# Random normal logic programs, checked against brute force
+# ---------------------------------------------------------------------------
+
+rule_strategy = st.tuples(
+    st.sampled_from(ATOMS),  # head
+    st.lists(st.sampled_from(ATOMS), max_size=2, unique=True),  # positive body
+    st.lists(st.sampled_from(ATOMS), max_size=2, unique=True),  # negative body
+)
+
+program_strategy = st.lists(rule_strategy, min_size=1, max_size=8)
+
+
+def program_text(rules):
+    lines = []
+    for head, pos, neg in rules:
+        body = [p for p in pos] + [f"not {n}" for n in neg]
+        if body:
+            lines.append(f"{head} :- {', '.join(body)}.")
+        else:
+            lines.append(f"{head}.")
+    return "\n".join(lines)
+
+
+def brute_force_stable_models(rules):
+    """Enumerate stable models of a ground normal program by definition."""
+    atoms = sorted({head for head, _, _ in rules} | {a for _, p, n in rules for a in p + n})
+
+    def least_model(reduct):
+        derived = set()
+        changed = True
+        while changed:
+            changed = False
+            for head, pos in reduct:
+                if head not in derived and all(p in derived for p in pos):
+                    derived.add(head)
+                    changed = True
+        return derived
+
+    models = []
+    for size in range(len(atoms) + 1):
+        for candidate in combinations(atoms, size):
+            candidate_set = set(candidate)
+            reduct = [
+                (head, pos)
+                for head, pos, neg in rules
+                if not any(n in candidate_set for n in neg)
+            ]
+            if least_model(reduct) == candidate_set:
+                models.append(candidate_set)
+    return models
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program_strategy)
+def test_solver_agrees_with_brute_force(rules):
+    text = program_text(rules)
+    expected = brute_force_stable_models(rules)
+    result = solve_program(text)
+    assert result.satisfiable == bool(expected)
+    if result.satisfiable:
+        model_atoms = {atom[0] for atom in result.model.atoms()}
+        assert model_atoms in expected
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program_strategy, st.sampled_from(ATOMS))
+def test_constraints_only_remove_models(rules, banned):
+    """Adding an integrity constraint can never invent new stable models."""
+    base = solve_program(program_text(rules))
+    constrained = solve_program(program_text(rules) + f"\n:- {banned}.")
+    if constrained.satisfiable:
+        assert base.satisfiable
+        model_atoms = {atom[0] for atom in constrained.model.atoms()}
+        assert banned not in model_atoms
+
+
+# ---------------------------------------------------------------------------
+# Random CNF instances: CDCL agrees with exhaustive enumeration
+# ---------------------------------------------------------------------------
+
+clause_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=4).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=3,
+        unique_by=abs,
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in range(1 << num_vars):
+        assignment = [(bits >> i) & 1 == 1 for i in range(num_vars)]
+        if all(any(assignment[abs(l) - 1] == (l > 0) for l in clause) for clause in clauses):
+            return True
+    return False
+
+
+@settings(max_examples=80, deadline=None)
+@given(clause_strategy)
+def test_cdcl_agrees_with_truth_table(clauses):
+    solver = CDCLSolver()
+    for _ in range(4):
+        solver.new_var()
+    status = True
+    for clause in clauses:
+        status = solver.add_clause(list(clause)) and status
+    result = solver.solve() if status else False
+    assert bool(result) == brute_force_sat(4, clauses)
+    if result:
+        model = solver.model()
+        for clause in clauses:
+            assert any(model[abs(l)] == (l > 0) for l in clause)
+
+
+# ---------------------------------------------------------------------------
+# Cardinality constraints against itertools ground truth
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+)
+def test_cardinality_window(num_vars, lower, upper):
+    solver = CDCLSolver()
+    variables = [solver.new_var() for _ in range(num_vars)]
+    ok = solver.add_at_least(variables, lower)
+    ok = solver.add_at_most(variables, upper) and ok
+    satisfiable = bool(ok and solver.solve())
+    expected = lower <= num_vars and lower <= upper
+    assert satisfiable == expected
+    if satisfiable:
+        count = sum(solver.model_value(v) for v in variables)
+        assert lower <= count <= upper
+
+
+# ---------------------------------------------------------------------------
+# Term ordering sanity
+# ---------------------------------------------------------------------------
+
+@given(st.integers(-50, 50), st.integers(-50, 50))
+def test_integer_comparisons(a, b):
+    assert compare_ground_values("<", a, b) == (a < b)
+    assert compare_ground_values(">=", a, b) == (a >= b)
+    assert compare_ground_values("!=", a, b) == (a != b)
+
+
+@given(st.text(min_size=0, max_size=5), st.text(min_size=0, max_size=5))
+def test_string_comparisons(a, b):
+    assert compare_ground_values("<", a, b) == (a < b)
+    assert compare_ground_values("=", a, b) == (a == b)
+
+
+@given(st.integers(-50, 50), st.text(min_size=0, max_size=5))
+def test_integers_sort_before_strings(number, text):
+    assert compare_ground_values("<", number, text)
+    assert not compare_ground_values("<", text, number)

@@ -1,0 +1,164 @@
+"""Stable-model semantics: completion, unfounded sets, loop nogoods."""
+
+from repro.asp.completion import complete
+from repro.asp.control import solve_program
+from repro.asp.grounder import ground_program
+from repro.asp.optimization import Optimizer
+from repro.asp.parser import parse_program
+from repro.asp.unfounded import StableModelEnforcer, find_unfounded_set
+
+
+def solve(text, **kwargs):
+    return solve_program(text, **kwargs)
+
+
+class TestSupportedVsStable:
+    def test_positive_loop_without_support_is_rejected(self):
+        # {a, b} is a supported model of the completion but not stable.
+        result = solve("a :- b. b :- a. c :- not a.")
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert atoms == {"c"}
+
+    def test_loop_with_external_support_is_allowed(self):
+        result = solve("a :- b. b :- a. b :- c. c.")
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert atoms == {"a", "b", "c"}
+
+    def test_choice_gives_external_support(self):
+        result = solve(
+            """
+            seed.
+            { b } :- seed.
+            a :- b.
+            b :- a.
+            need_b :- not b.
+            :- need_b.
+            """
+        )
+        assert result.satisfiable
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert "b" in atoms and "a" in atoms
+
+    def test_long_loop_rejected(self):
+        result = solve(
+            """
+            a :- b. b :- c. c :- d. d :- a.
+            ok :- not a.
+            """
+        )
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert atoms == {"ok"}
+
+    def test_negation_cycle_has_two_answer_sets(self):
+        # a :- not b / b :- not a: either answer set is acceptable.
+        result = solve("a :- not b. b :- not a.")
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert atoms in ({"a"}, {"b"})
+
+    def test_constraint_prunes_answer_sets(self):
+        result = solve("a :- not b. b :- not a. :- a.")
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert atoms == {"b"}
+
+    def test_unsatisfiable_program(self):
+        result = solve("a :- not a.")
+        assert not result.satisfiable
+
+
+class TestUnfoundedSetMachinery:
+    # A loop a <-> b whose only external support is the choice atom `trigger`:
+    # if trigger is false, {a, b} is supported by the completion but unstable.
+    LOOP_PROGRAM = """
+        { trigger }.
+        a :- trigger.
+        a :- b.
+        b :- a.
+    """
+
+    def _completed(self, text):
+        ground = ground_program(parse_program(text))
+        return complete(ground)
+
+    def _var(self, completed, name):
+        return completed.atom_to_var[completed.ground_program.atoms.lookup((name,))]
+
+    def test_find_unfounded_set_detects_loop(self):
+        completed = self._completed(self.LOOP_PROGRAM)
+        solver = completed.solver
+        # force the (supported but unstable) model {a, b} with trigger false
+        solver.add_clause([-self._var(completed, "trigger")])
+        solver.add_clause([self._var(completed, "a")])
+        solver.add_clause([self._var(completed, "b")])
+        assert solver.solve() is True
+        unfounded = find_unfounded_set(completed, completed.true_atoms())
+        names = {completed.ground_program.atoms.atom(i)[0] for i in unfounded}
+        assert names == {"a", "b"}
+
+    def test_no_unfounded_set_with_external_support(self):
+        completed = self._completed(self.LOOP_PROGRAM)
+        solver = completed.solver
+        solver.add_clause([self._var(completed, "trigger")])
+        assert solver.solve() is True
+        unfounded = find_unfounded_set(completed, completed.true_atoms())
+        assert unfounded == set()
+
+    def test_enforcer_adds_loop_nogoods(self):
+        completed = self._completed(self.LOOP_PROGRAM + "\n:- trigger.\n")
+        solver = completed.solver
+        solver.add_clause([self._var(completed, "a")])
+        enforcer = StableModelEnforcer(completed)
+        assert enforcer.solve() is False  # forcing a without trigger is unstable
+        assert enforcer.statistics()["loop_nogoods"] >= 1
+        assert enforcer.statistics()["rejected_supported_models"] >= 0
+
+    def test_enforcer_disabled_allows_supported_models(self):
+        completed = self._completed(self.LOOP_PROGRAM)
+        solver = completed.solver
+        solver.add_clause([-self._var(completed, "trigger")])
+        solver.add_clause([self._var(completed, "a")])
+        enforcer = StableModelEnforcer(completed, enabled=False)
+        assert enforcer.solve() is True  # supported-but-unstable model accepted
+
+    def test_enforcer_enabled_rejects_forced_loop(self):
+        completed = self._completed(self.LOOP_PROGRAM)
+        solver = completed.solver
+        solver.add_clause([-self._var(completed, "trigger")])
+        solver.add_clause([self._var(completed, "a")])
+        enforcer = StableModelEnforcer(completed, enabled=True)
+        assert enforcer.solve() is False  # no stable model has a true without trigger
+
+
+class TestFactsAndCompletion:
+    def test_facts_are_always_true(self):
+        result = solve("a. b. c :- a, b.")
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert atoms == {"a", "b", "c"}
+
+    def test_atoms_without_support_are_false(self):
+        result = solve("a. b :- c.")
+        atoms = {atom[0] for atom in result.model.atoms()}
+        assert atoms == {"a"}
+
+    def test_constraint_makes_program_unsat(self):
+        result = solve("a. :- a.")
+        assert not result.satisfiable
+
+    def test_choice_cardinality_lower_bound(self):
+        result = solve("option(x). option(y). option(z). 2 { pick(O) : option(O) }.")
+        picks = result.model.atoms("pick")
+        assert len(picks) >= 2
+
+    def test_choice_cardinality_upper_bound(self):
+        result = solve(
+            """
+            option(x). option(y). option(z).
+            { pick(O) : option(O) } 1.
+            picked :- pick(O).
+            :- not picked.
+            """
+        )
+        assert len(result.model.atoms("pick")) == 1
+
+    def test_exactly_one_choice(self):
+        result = solve("item(a). item(b). 1 { sel(I) : item(I) } 1.")
+        assert len(result.model.atoms("sel")) == 1

@@ -1,0 +1,89 @@
+"""Integration tests against the full builtin (E4S-style) repository.
+
+These exercise the paper's headline scenarios end to end on realistic package
+metadata.  They are the slowest tests in the suite (a few seconds each), so
+results are shared through session-scoped fixtures where possible.
+"""
+
+import pytest
+
+from repro.spack.concretize import Concretizer, OriginalConcretizer
+from repro.spack.errors import UnsatisfiableSpecError
+from repro.spack.store import Database
+from repro.spack.version import Version
+
+pytestmark = pytest.mark.slow
+
+
+class TestHdf5(object):
+    """The paper's running example (Figures 4 and 6 concretize hdf5)."""
+
+    def test_valid_and_complete(self, hdf5_result, builtin_repo):
+        assert hdf5_result.spec.name == "hdf5"
+        for name, node in hdf5_result.specs.items():
+            assert node.concrete
+            assert node.versions.concrete is not None
+            assert not builtin_repo.is_virtual(name)
+
+    def test_mpi_provider_selected(self, hdf5_result):
+        assert "mpich" in hdf5_result.specs  # preferred provider
+        assert hdf5_result.specs["hdf5"].variants["mpi"] == "true"
+
+    def test_newest_version_and_defaults(self, hdf5_result, builtin_repo):
+        assert hdf5_result.specs["hdf5"].version == builtin_repo.get("hdf5").preferred_version()
+        assert hdf5_result.specs["hdf5"].variants["shared"] == "true"
+
+    def test_toolchain_consistency(self, hdf5_result):
+        compilers = {node.compiler for node in hdf5_result.specs.values()}
+        targets = {node.target for node in hdf5_result.specs.values()}
+        assert compilers == {"gcc"}
+        assert targets == {"skylake"}
+
+    def test_phase_timings_recorded(self, hdf5_result):
+        for phase in ("setup", "load", "ground", "solve"):
+            assert hdf5_result.timings.get(phase, 0.0) >= 0.0
+        assert hdf5_result.timings["total"] > 0.0
+
+
+class TestUsability:
+    """Section VI-B scenarios on the real package metadata."""
+
+    def test_hpctoolkit_mpich_old_vs_new(self, builtin_repo):
+        request = "hpctoolkit ^mpich"
+        with pytest.raises(UnsatisfiableSpecError, match="does not depend on"):
+            OriginalConcretizer(repo=builtin_repo).concretize(request)
+        result = Concretizer(repo=builtin_repo).concretize(request)
+        assert "mpich" in result.specs
+        parents = [n for n, s in result.specs.items() if "mpich" in s.dependencies]
+        assert parents  # connected to the DAG, not floating
+
+    def test_conflict_rejected_up_front(self, builtin_repo):
+        with pytest.raises(UnsatisfiableSpecError):
+            Concretizer(repo=builtin_repo).concretize("dyninst %intel")
+
+    def test_conflict_avoided_when_free(self, builtin_repo):
+        result = Concretizer(repo=builtin_repo).concretize("dyninst")
+        assert result.spec.compiler != "intel"
+
+    def test_old_compiler_limits_target(self, builtin_repo):
+        result = Concretizer(repo=builtin_repo).concretize("zlib %gcc@4.8.3")
+        assert result.spec.target == "haswell"  # best target gcc 4.8 supports
+
+
+class TestReuseFigure6(object):
+    """Figure 6: hash-based reuse misses everything; solver reuse keeps 16/20."""
+
+    @pytest.fixture(scope="class")
+    def store(self, builtin_concretizer):
+        database = Database()
+        database.install(builtin_concretizer.concretize("hdf5").spec)
+        return database
+
+    def test_solver_reuse_rebuilds_only_the_changed_root(self, builtin_repo, store):
+        result = Concretizer(repo=builtin_repo, store=store, reuse=True).concretize("hdf5+hl")
+        assert result.built == {"hdf5"}
+        assert result.number_reused == len(result.specs) - 1
+
+    def test_hash_reuse_misses_on_any_change(self, builtin_repo, store):
+        result = OriginalConcretizer(repo=builtin_repo, store=store).concretize("hdf5+hl")
+        assert "hdf5" not in result.reused

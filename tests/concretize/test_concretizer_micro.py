@@ -1,0 +1,224 @@
+"""ASP concretizer semantics on the micro repository (fast solves).
+
+These tests check the validity and optimality conditions of Section III-C and
+V against the paper's running example package (Figure 2).
+"""
+
+import pytest
+
+from repro.spack.concretize import Concretizer
+from repro.spack.errors import UnsatisfiableSpecError
+from repro.spack.version import Version
+
+
+class TestValidity:
+    """A solution is valid iff virtuals are replaced, dependencies resolved,
+    all parameters assigned, and all constraints satisfied (Section III-C1)."""
+
+    def test_all_nodes_fully_specified(self, example_result):
+        for name, node in example_result.specs.items():
+            assert node.concrete
+            assert node.versions.concrete is not None, name
+            assert node.compiler is not None, name
+            assert node.os is not None, name
+            assert node.target is not None, name
+
+    def test_all_virtuals_replaced(self, example_result, micro_repo):
+        for name in example_result.specs:
+            assert not micro_repo.is_virtual(name)
+
+    def test_all_dependencies_resolved(self, example_result):
+        example = example_result.specs["example"]
+        assert "zlib" in example.dependencies
+        assert "bzip2" in example.dependencies  # +bzip is the default
+        providers = {"mpich", "openmpi"}
+        assert providers & set(example.dependencies)
+
+    def test_every_non_root_has_a_parent(self, example_result):
+        children = set()
+        for node in example_result.specs.values():
+            children.update(node.dependencies)
+        for name in example_result.specs:
+            assert name == "example" or name in children
+
+    def test_dag_is_acyclic(self, example_result):
+        seen = set()
+
+        def visit(node, stack):
+            assert node.name not in stack
+            if node.name in seen:
+                return
+            seen.add(node.name)
+            for child in node.dependencies.values():
+                visit(child, stack | {node.name})
+
+        visit(example_result.spec, set())
+
+    def test_declared_constraints_hold(self, example_result):
+        example = example_result.specs["example"]
+        bzip2 = example_result.specs["bzip2"]
+        zlib = example_result.specs["zlib"]
+        # depends_on("bzip2@1.0.7:", when="+bzip")
+        assert bzip2.version >= Version("1.0.7")
+        # depends_on("zlib@1.2.8:", when="@1.1.0:") and example is at 1.1.0
+        assert example.version == Version("1.1.0")
+        assert zlib.version >= Version("1.2.8")
+
+    def test_all_variants_have_values(self, example_result, micro_repo):
+        for name, node in example_result.specs.items():
+            for variant_name in micro_repo.get(name).variants:
+                assert variant_name in node.variants, (name, variant_name)
+
+
+class TestOptimality:
+    """Defaults from Table II: newest versions, default variants, preferred
+    providers/compilers/targets."""
+
+    def test_newest_versions_chosen(self, example_result, micro_repo):
+        for name, node in example_result.specs.items():
+            newest = micro_repo.get(name).preferred_version()
+            assert node.version == newest, name
+
+    def test_default_variant_values(self, example_result):
+        assert example_result.specs["example"].variants["bzip"] == "true"
+        assert example_result.specs["zlib"].variants["pic"] == "true"
+
+    def test_preferred_provider_chosen(self, example_result):
+        assert "mpich" in example_result.specs
+        assert "openmpi" not in example_result.specs
+
+    def test_preferred_compiler_and_target(self, example_result):
+        for node in example_result.specs.values():
+            assert node.compiler == "gcc"
+            assert str(node.compiler_versions) == "11.2.0"
+            assert node.target == "skylake"
+            assert node.os == "rhel7"
+
+    def test_deprecated_version_avoided(self, example_result):
+        assert example_result.specs["example"].version != Version("0.9.0")
+
+    def test_no_mismatches_in_cost_vector(self, example_result):
+        # compiler (8), OS (9) and target (14) mismatch criteria must be 0
+        from repro.spack.concretize.criteria import CRITERIA
+
+        by_number = {c.number: c for c in CRITERIA}
+        for number in (8, 9, 14):
+            criterion = by_number[number]
+            assert example_result.costs.get(criterion.build_level, 0) == 0
+            assert example_result.costs.get(criterion.level, 0) == 0
+
+    def test_cost_vector_reports_builds(self, example_result):
+        from repro.spack.concretize.criteria import NUMBER_OF_BUILDS_LEVEL
+
+        assert example_result.costs[NUMBER_OF_BUILDS_LEVEL] == len(example_result.specs)
+
+
+class TestUserConstraints:
+    def test_version_constraint_respected(self, micro_concretizer):
+        result = micro_concretizer.concretize("example@1.0.0 ^zlib@1.2.11")
+        assert result.specs["example"].version == Version("1.0.0")
+        assert result.specs["zlib"].version == Version("1.2.11")
+        # example@1.0.0 has no conditional zlib@1.2.8: constraint, so 1.2.11 is fine
+
+    def test_variant_override(self, micro_concretizer):
+        result = micro_concretizer.concretize("example~bzip")
+        assert result.specs["example"].variants["bzip"] == "false"
+        assert "bzip2" not in result.specs
+
+    def test_compiler_override(self, micro_concretizer):
+        result = micro_concretizer.concretize("example%clang@14.0.6")
+        assert result.specs["example"].compiler == "clang"
+
+    def test_target_override(self, micro_concretizer):
+        result = micro_concretizer.concretize("example target=haswell")
+        assert result.specs["example"].target == "haswell"
+
+    def test_requesting_non_preferred_provider(self, micro_concretizer):
+        result = micro_concretizer.concretize("example ^openmpi")
+        assert "openmpi" in result.specs
+        assert "mpich" not in result.specs
+        assert "hwloc" in result.specs  # openmpi's own dependency came along
+
+    def test_constraint_on_dependency_version(self, micro_concretizer):
+        result = micro_concretizer.concretize("example ^bzip2@1.0.7")
+        assert result.specs["bzip2"].version == Version("1.0.7")
+
+    def test_unsatisfiable_version_raises(self, micro_concretizer):
+        with pytest.raises(UnsatisfiableSpecError):
+            micro_concretizer.concretize("example@3.0")
+
+    def test_unsatisfiable_dependency_constraint(self, micro_concretizer):
+        # example@1.1.0: requires zlib@1.2.8:, so zlib@1.2.3 is impossible
+        with pytest.raises(UnsatisfiableSpecError):
+            micro_concretizer.concretize("example@1.1.0 ^zlib@1.2.3")
+
+
+class TestCompleteness:
+    """The solver must backtrack where the greedy algorithm cannot
+    (Section III-C2: the bzip2/mpich thought experiment)."""
+
+    def test_backtracking_over_version_choice(self, micro_repo):
+        # oldcode@2.0 (the newest) requires zlib@:1.2.8, so asking for a newer
+        # zlib forces the solver to fall back to oldcode@1.0.
+        concretizer = Concretizer(repo=micro_repo)
+        result = concretizer.concretize("oldcode ^zlib@1.2.11:")
+        assert result.specs["oldcode"].version == Version("1.0")
+
+    def test_conditional_dependency_via_user_request(self, micro_repo):
+        # minitool's mpi variant defaults to false; requesting ^mpich flips it
+        # (or otherwise connects mpich) - the paper's hpctoolkit case.
+        concretizer = Concretizer(repo=micro_repo)
+        result = concretizer.concretize("minitool ^mpich")
+        assert "mpich" in result.specs
+        assert result.specs["minitool"].variants["mpi"] == "true"
+
+    def test_conflict_avoided_by_different_choice(self, micro_repo):
+        # oldcode@2.0 conflicts with %clang: requesting %clang must pick 1.0
+        concretizer = Concretizer(repo=micro_repo)
+        result = concretizer.concretize("oldcode%clang")
+        assert result.specs["oldcode"].version == Version("1.0")
+
+
+class TestProviderSpecialization:
+    """Section VI-B.3: berkeleygw-style conditional constraints on providers."""
+
+    def test_openblas_gets_openmp_threads(self, micro_repo):
+        concretizer = Concretizer(repo=micro_repo)
+        result = concretizer.concretize("miniapp+openmp ^miniblas")
+        assert result.specs["miniblas"].variants["threads"] == "openmp"
+
+    def test_no_specialization_without_openmp(self, micro_repo):
+        concretizer = Concretizer(repo=micro_repo)
+        result = concretizer.concretize("miniapp~openmp ^miniblas")
+        assert result.specs["miniblas"].variants["threads"] == "none"
+
+    def test_other_provider_not_constrained(self, micro_repo):
+        concretizer = Concretizer(repo=micro_repo)
+        result = concretizer.concretize("miniapp+openmp ^reflapack")
+        assert "reflapack" in result.specs
+        assert "threads" not in result.specs["reflapack"].variants
+
+
+class TestConflicts:
+    def test_conflicting_compiler_is_unsat(self, micro_concretizer):
+        with pytest.raises(UnsatisfiableSpecError):
+            micro_concretizer.concretize("example%intel")
+
+    def test_conflicting_target_family_is_unsat(self, micro_concretizer):
+        with pytest.raises(UnsatisfiableSpecError):
+            micro_concretizer.concretize("example target=a64fx")
+
+    def test_non_conflicting_request_succeeds(self, micro_concretizer):
+        result = micro_concretizer.concretize("example target=haswell")
+        assert result.spec.target == "haswell"
+
+
+class TestMultipleRoots:
+    def test_unified_concretization_shares_dependencies(self, micro_concretizer):
+        result = micro_concretizer.solve(["example", "minitool"])
+        assert len(result.roots) == 2
+        assert len([n for n in result.specs if n == "zlib"]) == 1
+        zlib_users = [
+            name for name, node in result.specs.items() if "zlib" in node.dependencies
+        ]
+        assert set(zlib_users) >= {"example", "minitool"}

@@ -1,0 +1,203 @@
+"""Unit tests for the criteria table, the logic program, and the fact encoder."""
+
+import pytest
+
+from repro.asp.parser import parse_program
+from repro.spack.concretize.criteria import (
+    BUILD_PRIORITY_OFFSET,
+    CRITERIA,
+    NUMBER_OF_BUILDS_LEVEL,
+    cost_summary,
+    criterion_by_level,
+    describe_costs,
+)
+from repro.spack.concretize.encoder import ProblemEncoder
+from repro.spack.concretize.logic import logic_program, logic_program_size
+from repro.spack.spec_parser import parse_spec
+
+
+class TestCriteria:
+    def test_fifteen_criteria(self):
+        assert len(CRITERIA) == 15
+        assert [c.number for c in CRITERIA] == list(range(1, 16))
+
+    def test_table2_names_and_scopes(self):
+        assert CRITERIA[0].name == "Deprecated versions used"
+        assert CRITERIA[1].scope == "roots"
+        assert CRITERIA[10].name == "Version oldness"
+        assert CRITERIA[10].scope == "non-roots"
+        assert CRITERIA[14].name == "Non-preferred targets"
+
+    def test_levels_are_lexicographically_ordered(self):
+        levels = [c.level for c in CRITERIA]
+        assert levels == sorted(levels, reverse=True)
+        assert all(c.build_level == c.level + BUILD_PRIORITY_OFFSET for c in CRITERIA)
+
+    def test_build_bucket_dominates_number_of_builds_dominates_reuse(self):
+        assert min(c.build_level for c in CRITERIA) > NUMBER_OF_BUILDS_LEVEL
+        assert max(c.level for c in CRITERIA) < NUMBER_OF_BUILDS_LEVEL
+
+    def test_criterion_by_level(self):
+        assert criterion_by_level(CRITERIA[0].level) is CRITERIA[0]
+        assert criterion_by_level(CRITERIA[0].build_level) is CRITERIA[0]
+        assert criterion_by_level(999) is None
+
+    def test_describe_costs(self):
+        lines = describe_costs({NUMBER_OF_BUILDS_LEVEL: 3, CRITERIA[0].build_level: 1})
+        assert any("number of builds: 3" in line for line in lines)
+        assert any("Deprecated versions" in line for line in lines)
+
+    def test_cost_summary_merges_buckets(self):
+        summary = cost_summary({CRITERIA[7].build_level: 2, CRITERIA[7].level: 1})
+        assert summary["08_compiler_mismatches"] == 3
+
+
+class TestLogicProgram:
+    def test_parses_cleanly(self):
+        program = parse_program(logic_program())
+        assert program.rules
+
+    def test_has_one_minimize_per_criterion_plus_builds(self):
+        program = parse_program(logic_program())
+        assert len(program.minimizes) == len(CRITERIA) + 1
+
+    def test_size_is_comparable_to_the_paper(self):
+        # the paper quotes ~800 lines for full Spack; our reduced model is
+        # smaller but still a substantial declarative program
+        assert 100 <= logic_program_size() <= 800
+
+    def test_key_predicates_present(self):
+        text = logic_program()
+        for predicate in (
+            "condition_holds",
+            "imposed_constraint",
+            "depends_on",
+            "provider(",
+            "installed_hash",
+            "build_priority",
+            "compiler_supports_target",
+            "version_possible",
+        ):
+            assert predicate in text, predicate
+
+    def test_acyclicity_constraint_present(self):
+        assert ":- path(A, B), path(B, A)." in logic_program()
+
+
+class TestEncoder:
+    def _encode(self, micro_repo, text, **kwargs):
+        encoder = ProblemEncoder(micro_repo, **kwargs)
+        facts = encoder.encode([parse_spec(text)])
+        return encoder, facts
+
+    def _by_predicate(self, facts):
+        grouped = {}
+        for fact in facts:
+            grouped.setdefault(fact[0], []).append(fact)
+        return grouped
+
+    def test_root_and_node_facts(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        grouped = self._by_predicate(facts)
+        assert ("root", "example") in grouped["root"]
+        assert any(f[1:] == (1, "node", "example") for f in grouped["imposed_constraint"])
+
+    def test_version_declared_weights_prefer_newest(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        weights = {
+            (f[1], f[2]): f[3] for f in facts if f[0] == "version_declared" and f[1] == "zlib"
+        }
+        assert weights[("zlib", "1.3")] == 0
+        assert weights[("zlib", "1.2.11")] == 1
+
+    def test_deprecated_versions_flagged(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        assert ("version_deprecated", "example", "0.9.0") in facts
+
+    def test_dependency_conditions_emitted(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        targets = {f[3] for f in facts if f[0] == "dependency_condition" and f[2] == "example"}
+        assert targets == {"bzip2", "zlib", "mpi"}
+
+    def test_when_clause_becomes_requirement(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        # depends_on("bzip2@1.0.7:", when="+bzip") requires the variant value
+        requirement_conditions = {
+            f[1]
+            for f in facts
+            if f[0] == "condition_requirement"
+            and f[2:] == ("variant_value", "example", "bzip", "true")
+        }
+        assert requirement_conditions
+        # ... and imposes the version constraint on bzip2
+        imposed = [
+            f
+            for f in facts
+            if f[0] == "imposed_constraint"
+            and f[1] in requirement_conditions
+            and f[2] == "version_satisfies"
+            and f[3] == "bzip2"
+        ]
+        assert imposed and imposed[0][4] == "1.0.7:"
+
+    def test_version_possible_facts_only_for_satisfying_versions(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        versions = {f[3] for f in facts if f[0] == "version_possible" and f[1:3] == ("bzip2", "1.0.7:")}
+        assert versions == {"1.0.7", "1.0.8"}
+
+    def test_virtual_and_provider_facts(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        grouped = self._by_predicate(facts)
+        assert ("virtual", "mpi") in grouped["virtual"]
+        providers = {f[2]: f[3] for f in grouped["possible_provider"] if f[1] == "mpi"}
+        assert providers["mpich"] == 0  # preferred
+        assert providers["openmpi"] == 1
+
+    def test_conflict_facts(self, micro_repo):
+        _, facts = self._encode(micro_repo, "example")
+        conflict_ids = {f[1] for f in facts if f[0] == "conflict" and f[2] == "example"}
+        assert len(conflict_ids) == 2
+
+    def test_platform_and_compiler_facts(self, micro_repo):
+        _, facts = self._encode(micro_repo, "zlib")
+        grouped = self._by_predicate(facts)
+        targets = {f[1] for f in grouped["target"]}
+        assert "skylake" in targets and "x86_64" in targets
+        assert all(f[1] != "power9le" for f in grouped["target"])
+        assert ("os", "rhel7") in grouped["os"]
+        assert any(f[1] == "gcc" for f in grouped["compiler"])
+        supported = {(f[1], f[2], f[3]) for f in grouped["compiler_supports_target"]}
+        assert ("gcc", "4.8.3", "skylake") not in supported
+        assert ("gcc", "11.2.0", "skylake") in supported
+
+    def test_possible_dependency_statistics(self, micro_repo):
+        encoder, _ = self._encode(micro_repo, "example")
+        stats = encoder.stats.as_dict()
+        assert stats["possible_dependencies"] >= 4
+        assert stats["facts"] > 100
+        assert stats["conditions"] > 5
+
+    def test_installed_packages_encoded_when_reuse_enabled(self, micro_repo):
+        from repro.spack.concretize import Concretizer
+        from repro.spack.store import Database
+
+        database = Database()
+        database.install(Concretizer(repo=micro_repo).concretize("zlib").spec)
+        encoder = ProblemEncoder(micro_repo, store=database, reuse=True)
+        facts = encoder.encode([parse_spec("example")])
+        grouped = self._by_predicate(facts)
+        assert "installed_hash" in grouped
+        digest = grouped["installed_hash"][0][2]
+        imposed = {f[2:] for f in grouped["imposed_constraint"] if f[1] == digest}
+        assert ("node", "zlib") in imposed
+        assert any(entry[0] == "version" for entry in imposed)
+
+    def test_reuse_disabled_emits_no_hashes(self, micro_repo):
+        from repro.spack.concretize import Concretizer
+        from repro.spack.store import Database
+
+        database = Database()
+        database.install(Concretizer(repo=micro_repo).concretize("zlib").spec)
+        encoder = ProblemEncoder(micro_repo, store=database, reuse=False)
+        facts = encoder.encode([parse_spec("example")])
+        assert not [f for f in facts if f[0] == "installed_hash"]

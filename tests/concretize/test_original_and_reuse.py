@@ -1,0 +1,144 @@
+"""The greedy baseline concretizer and the reuse machinery (micro repo)."""
+
+import pytest
+
+from repro.spack.concretize import Concretizer, OriginalConcretizer
+from repro.spack.concretize.criteria import NUMBER_OF_BUILDS_LEVEL
+from repro.spack.errors import ConflictError, UnsatisfiableSpecError
+from repro.spack.store import Database
+from repro.spack.version import Version
+
+
+class TestOriginalConcretizer:
+    def test_produces_valid_concrete_specs(self, micro_repo):
+        result = OriginalConcretizer(repo=micro_repo).concretize("example")
+        for node in result.specs.values():
+            assert node.concrete
+            assert node.versions.concrete is not None
+            assert node.compiler and node.os and node.target
+
+    def test_defaults_match_new_concretizer(self, micro_repo, example_result):
+        greedy = OriginalConcretizer(repo=micro_repo).concretize("example")
+        asp = example_result
+        assert greedy.specs["example"].version == asp.specs["example"].version
+        assert set(greedy.specs) == set(asp.specs)
+        for name in greedy.specs:
+            assert greedy.specs[name].version == asp.specs[name].version
+
+    def test_user_version_respected(self, micro_repo):
+        result = OriginalConcretizer(repo=micro_repo).concretize("example@1.0.0")
+        assert result.specs["example"].version == Version("1.0.0")
+
+    def test_incomplete_on_conditional_dependency(self, micro_repo):
+        """The paper's Section VI-B.1 failure: the greedy algorithm sets the
+        variant default before descending, so the ^mpich constraint dangles."""
+        with pytest.raises(UnsatisfiableSpecError, match="does not depend on"):
+            OriginalConcretizer(repo=micro_repo).concretize("minitool ^mpich")
+
+    def test_complete_solver_handles_the_same_request(self, micro_repo):
+        result = Concretizer(repo=micro_repo).concretize("minitool ^mpich")
+        assert "mpich" in result.specs
+
+    def test_explicit_variant_workaround_succeeds(self, micro_repo):
+        """The workaround users had to know: overconstrain with +mpi."""
+        result = OriginalConcretizer(repo=micro_repo).concretize("minitool+mpi ^mpich")
+        assert "mpich" in result.specs
+
+    def test_greedy_fails_where_backtracking_succeeds(self, micro_repo):
+        """oldcode@2.0 (greedy's first pick) caps zlib at 1.2.8; asking for a
+        newer zlib needs backtracking over the version choice."""
+        request = "oldcode ^zlib@1.2.11:"
+        with pytest.raises(UnsatisfiableSpecError):
+            OriginalConcretizer(repo=micro_repo).concretize(request)
+        asp = Concretizer(repo=micro_repo).concretize(request)
+        assert asp.specs["oldcode"].version == Version("1.0")
+
+    def test_conflicts_are_post_hoc_errors(self, micro_repo):
+        with pytest.raises((ConflictError, UnsatisfiableSpecError)):
+            OriginalConcretizer(repo=micro_repo).concretize("example%intel")
+
+    def test_virtual_provider_defaults_to_preference(self, micro_repo):
+        result = OriginalConcretizer(repo=micro_repo).concretize("example")
+        assert "mpich" in result.specs
+
+    def test_user_selected_provider(self, micro_repo):
+        result = OriginalConcretizer(repo=micro_repo).concretize("example ^openmpi")
+        assert "openmpi" in result.specs
+        assert "mpich" not in result.specs
+
+    def test_elapsed_time_recorded(self, micro_repo):
+        result = OriginalConcretizer(repo=micro_repo).concretize("example")
+        assert result.elapsed >= 0.0
+
+    def test_hash_based_reuse_requires_exact_match(self, micro_repo):
+        store = Database()
+        first = OriginalConcretizer(repo=micro_repo).concretize("example")
+        store.install(first.root)
+        # identical request: every hash matches
+        again = OriginalConcretizer(repo=micro_repo, store=store).concretize("example")
+        assert again.number_reused == len(again.specs)
+        # different variant on the root: the root and its parents' hashes miss
+        changed = OriginalConcretizer(repo=micro_repo, store=store).concretize("example~bzip")
+        assert "example" not in changed.reused
+
+
+class TestSolverReuse:
+    """Section VI: reuse as an optimization objective (Figure 6b)."""
+
+    @pytest.fixture(scope="class")
+    def store(self, micro_repo):
+        database = Database()
+        result = Concretizer(repo=micro_repo).concretize("example")
+        database.install(result.spec)
+        return database
+
+    def test_full_reuse_when_nothing_changes(self, micro_repo, store):
+        result = Concretizer(repo=micro_repo, store=store, reuse=True).concretize("example")
+        assert result.number_of_builds == 0
+        assert result.number_reused == len(result.specs)
+
+    def test_partial_reuse_on_variant_change(self, micro_repo, store):
+        result = Concretizer(repo=micro_repo, store=store, reuse=True).concretize("example target=haswell")
+        # the root must be rebuilt (different target) but dependencies with
+        # matching constraints are reused rather than rebuilt
+        assert "example" in result.built
+        assert result.number_reused >= 1
+
+    def test_reuse_prefers_installed_over_newer_version(self, micro_repo):
+        """The paper's cmake example: an installed 3.21.1 is reused even though
+        a new build would pick 3.21.4 (reuse outranks version oldness)."""
+        database = Database()
+        old = Concretizer(repo=micro_repo).concretize("example ^zlib@1.2.11")
+        database.install(old.spec)
+        result = Concretizer(repo=micro_repo, store=database, reuse=True).concretize("example")
+        assert result.specs["zlib"].version == Version("1.2.11")
+        assert "zlib" in result.reused
+
+    def test_new_builds_still_get_defaults(self, micro_repo, store):
+        """Minimizing builds must not strip defaults from what *is* built
+        (the 'cmake without openssl' pathology)."""
+        result = Concretizer(repo=micro_repo, store=store, reuse=True).concretize("minitool")
+        assert "minitool" in result.built
+        assert result.specs["minitool"].version == Version("2023.1")
+        # its zlib dependency can be reused from the example installation
+        assert "zlib" in result.reused
+
+    def test_reuse_respects_constraints(self, micro_repo):
+        """An installed package that violates the request is not reused."""
+        database = Database()
+        old = Concretizer(repo=micro_repo).concretize("example ^zlib@1.2.8")
+        database.install(old.spec)
+        result = Concretizer(repo=micro_repo, store=database, reuse=True).concretize(
+            "example ^zlib@1.2.11:"
+        )
+        assert result.specs["zlib"].version >= Version("1.2.11")
+        assert "zlib" in result.built
+
+    def test_without_reuse_flag_nothing_is_reused(self, micro_repo, store):
+        result = Concretizer(repo=micro_repo, store=store, reuse=False).concretize("example")
+        assert result.number_reused == 0
+        assert result.number_of_builds == len(result.specs)
+
+    def test_builds_counted_in_cost_vector(self, micro_repo, store):
+        result = Concretizer(repo=micro_repo, store=store, reuse=True).concretize("example")
+        assert result.costs[NUMBER_OF_BUILDS_LEVEL] == result.number_of_builds

@@ -1,0 +1,112 @@
+"""Targets, platforms, operating systems, and compiler support."""
+
+import pytest
+
+from repro.spack.architecture import (
+    Platform,
+    TARGETS,
+    default_platform,
+    lassen_platform,
+)
+from repro.spack.compilers import CompilerRegistry, default_compilers
+from repro.spack.errors import SpackError
+from repro.spack.version import Version
+
+
+class TestTargets:
+    def test_known_families(self):
+        assert set(TARGETS.families()) == {"x86_64", "ppc64le", "aarch64"}
+
+    def test_generation_ordering(self):
+        assert TARGETS.get("x86_64").generation < TARGETS.get("haswell").generation
+        assert TARGETS.get("haswell").generation < TARGETS.get("skylake").generation
+
+    def test_family_membership(self):
+        assert TARGETS.get("skylake").family == "x86_64"
+        assert TARGETS.get("power9le").family == "ppc64le"
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(SpackError):
+            TARGETS.get("quantum9000")
+
+    def test_weights_prefer_newest(self):
+        weights = TARGETS.weights_for("x86_64", best="skylake")
+        assert weights["skylake"] == 0
+        assert weights["x86_64"] == max(weights.values())
+        assert "cascadelake" not in weights  # newer than the host
+
+
+class TestPlatform:
+    def test_default_platform_is_quartz_like(self):
+        platform = default_platform()
+        assert platform.family == "x86_64"
+        assert platform.default_os == "rhel7"
+
+    def test_lassen_platform_is_power(self):
+        platform = lassen_platform()
+        assert platform.family == "ppc64le"
+        assert platform.default_target == "power9le"
+
+    def test_targets_limited_to_host(self):
+        platform = Platform(family="x86_64", default_target="haswell", default_os="rhel7")
+        names = {t.name for t in platform.targets()}
+        assert "haswell" in names
+        assert "skylake" not in names
+
+    def test_os_weights_prefer_default(self):
+        weights = default_platform().os_weights()
+        assert weights["rhel7"] == 0
+        assert all(w > 0 for name, w in weights.items() if name != "rhel7")
+
+    def test_invalid_default_target(self):
+        with pytest.raises(SpackError):
+            Platform(family="x86_64", default_target="power9le", default_os="rhel7")
+
+    def test_generic_target(self):
+        assert default_platform().generic_target().name == "x86_64"
+
+
+class TestCompilers:
+    def test_default_toolbox_contains_gcc(self):
+        names = {c.name for c in default_compilers()}
+        assert {"gcc", "clang", "intel", "xl"} <= names
+
+    def test_old_gcc_cannot_target_skylake(self):
+        registry = CompilerRegistry()
+        old = registry.get("gcc", "4.8.3")
+        new = registry.get("gcc", "11.2.0")
+        skylake = TARGETS.get("skylake")
+        haswell = TARGETS.get("haswell")
+        assert not old.supports_target(skylake)
+        assert old.supports_target(haswell)
+        assert new.supports_target(skylake)
+
+    def test_intel_is_x86_only(self):
+        registry = CompilerRegistry()
+        intel = registry.get("intel")
+        assert not intel.supports_target(TARGETS.get("power9le"))
+
+    def test_weights_prefer_newest_preferred_compiler(self):
+        registry = CompilerRegistry(preferred="gcc")
+        weights = registry.weights()
+        best = min(weights, key=weights.get)
+        assert best[0] == "gcc"
+        assert Version(best[1]) == max(c.version for c in registry.by_name("gcc"))
+
+    def test_default_compiler(self):
+        assert CompilerRegistry(preferred="gcc").default().name == "gcc"
+        assert CompilerRegistry(preferred="clang").default().name == "clang"
+
+    def test_get_with_version_prefix(self):
+        registry = CompilerRegistry()
+        assert registry.get("gcc", "10").version == Version("10.3.1")
+
+    def test_unknown_compiler_raises(self):
+        with pytest.raises(SpackError):
+            CompilerRegistry().get("chicken-c")
+
+    def test_supported_targets_subset_of_family(self):
+        registry = CompilerRegistry()
+        targets = registry.supported_targets(registry.get("gcc", "4.8.3"), "x86_64")
+        assert all(t.family == "x86_64" for t in targets)
+        assert {t.name for t in targets} < {t.name for t in TARGETS.family("x86_64")}

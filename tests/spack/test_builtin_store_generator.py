@@ -1,0 +1,189 @@
+"""Builtin catalog sanity, the installed-package store, the synthetic generator,
+and the E4S workload helpers."""
+
+import pytest
+
+from repro.spack.generator import generate_repository
+from repro.spack.repo import builtin_repository
+from repro.spack.spec_parser import parse_spec
+from repro.spack.store import Database
+from repro.spack.workloads import E4S_ROOTS, buildcache_subsets, e4s_graph_statistics
+
+
+class TestBuiltinCatalog:
+    def test_catalog_size(self, builtin_repo):
+        assert len(builtin_repo) >= 200
+
+    def test_paper_packages_present(self, builtin_repo):
+        for name in ("hdf5", "zlib", "mpich", "openmpi", "cmake", "openssl",
+                     "hpctoolkit", "berkeleygw", "openblas", "mpilander"):
+            assert builtin_repo.exists(name)
+
+    def test_virtuals(self, builtin_repo):
+        assert {"mpi", "blas", "lapack"} <= set(builtin_repo.virtuals())
+        assert "mpich" in builtin_repo.providers_for("mpi")
+        assert builtin_repo.providers_for("mpi")[0] == "mpich"  # preference
+
+    def test_every_package_has_versions(self, builtin_repo):
+        for name in builtin_repo:
+            assert builtin_repo.get(name).declared_versions(), f"{name} has no versions"
+
+    def test_every_dependency_resolves(self, builtin_repo):
+        missing = set()
+        for name in builtin_repo:
+            builtin_repo.possible_dependencies(name, missing=missing)
+        assert missing == set()
+
+    def test_variant_defaults_are_legal(self, builtin_repo):
+        for name in builtin_repo:
+            for variant_name, decl in builtin_repo.get(name).variants.items():
+                defaults = decl.default if isinstance(decl.default, tuple) else (decl.default,)
+                for default in defaults:
+                    assert default in decl.values, f"{name} variant {variant_name}"
+
+    def test_two_cluster_possible_dependency_structure(self, builtin_repo):
+        """Packages that can reach MPI have far larger possible-dependency sets
+        than leaf packages (the clustering discussed in Section VII-B)."""
+        counts = {name: builtin_repo.possible_dependency_count(name) for name in builtin_repo}
+        assert counts["zlib"] <= 2
+        assert counts["hdf5"] > 40
+        mpi_reachers = [n for n, c in counts.items() if c > 40]
+        leaves = [n for n, c in counts.items() if c < 10]
+        assert len(mpi_reachers) > 30
+        assert len(leaves) > 30
+
+    def test_hpctoolkit_mpi_is_conditional(self, builtin_repo):
+        hpctoolkit = builtin_repo.get("hpctoolkit")
+        mpi_deps = [d for d in hpctoolkit.dependencies if d.name == "mpi"]
+        assert len(mpi_deps) == 1
+        assert mpi_deps[0].when is not None
+        assert hpctoolkit.variants["mpi"].default == "false"
+
+    def test_berkeleygw_provider_specialization_directive(self, builtin_repo):
+        berkeleygw = builtin_repo.get("berkeleygw")
+        specialized = [
+            d for d in berkeleygw.dependencies
+            if d.name == "openblas" and d.when is not None and "openblas" in d.when.dependencies
+        ]
+        assert len(specialized) == 1
+        assert specialized[0].spec.variants["threads"] == "openmp"
+
+    def test_builtin_repository_is_cached(self):
+        assert builtin_repository() is builtin_repository()
+
+
+class TestDatabase:
+    def _concrete(self, text):
+        spec = parse_spec(text)
+        for node in spec.traverse():
+            node.mark_concrete()
+        return spec
+
+    def test_install_records_whole_dag(self):
+        parent = self._concrete("hdf5@1.12.2%gcc@11.2.0 os=rhel7 target=skylake")
+        child = self._concrete("zlib@1.2.13%gcc@11.2.0 os=rhel7 target=skylake")
+        parent.dependencies["zlib"] = child
+        database = Database()
+        database.install(parent)
+        assert len(database) == 2
+        assert database.lookup(child.dag_hash()) == child
+
+    def test_only_concrete_specs_can_be_added(self):
+        database = Database()
+        with pytest.raises(Exception):
+            database.add(parse_spec("hdf5"))
+
+    def test_query_by_constraint(self):
+        database = Database()
+        database.add(self._concrete("zlib@1.2.13 target=skylake os=rhel7"))
+        database.add(self._concrete("zlib@1.2.11 target=power9le os=rhel7"))
+        assert len(database.query("zlib")) == 2
+        assert len(database.query("zlib@1.2.13")) == 1
+        assert len(database.query("zlib target=power9le")) == 1
+        assert database.query("hdf5") == []
+
+    def test_filtered_subsets(self):
+        database = Database()
+        database.add(self._concrete("zlib@1.2.13 target=skylake os=rhel7"))
+        database.add(self._concrete("zlib@1.2.13 target=power9le os=rhel8"))
+        subset = database.filtered(lambda s: s.os == "rhel7")
+        assert len(subset) == 1
+
+    def test_json_roundtrip(self):
+        database = Database()
+        database.add(self._concrete("zlib@1.2.13+pic target=skylake os=rhel7"))
+        restored = Database.from_json(database.to_json())
+        assert len(restored) == 1
+        assert restored.all_specs()[0].variants["pic"] == "true"
+
+    def test_remove(self):
+        database = Database()
+        spec = self._concrete("zlib@1.2.13")
+        digest = database.add(spec)
+        database.remove(digest)
+        assert len(database) == 0
+
+
+class TestSyntheticGenerator:
+    def test_generation_is_deterministic(self):
+        first = generate_repository(num_packages=40, seed=7)
+        second = generate_repository(num_packages=40, seed=7)
+        assert first.all_package_names() == second.all_package_names()
+        name = first.all_package_names()[10]
+        assert [d.name for d in first.get(name).dependencies] == [
+            d.name for d in second.get(name).dependencies
+        ]
+
+    def test_size_scales(self):
+        repo = generate_repository(num_packages=60, seed=3)
+        assert len(repo) == 60 + 2  # packages + MPI providers
+
+    def test_layered_dag_has_no_possible_cycles(self):
+        repo = generate_repository(num_packages=50, seed=1)
+        for name in repo:
+            assert name not in repo.possible_dependencies(name, include_roots=False)
+
+    def test_mpi_cluster_exists(self):
+        repo = generate_repository(num_packages=80, seed=5, mpi_fraction=0.5)
+        counts = [repo.possible_dependency_count(n) for n in repo]
+        assert max(counts) > 5
+        assert min(counts) == 0
+
+    def test_generated_packages_concretize(self):
+        from repro.spack.concretize import Concretizer
+
+        repo = generate_repository(num_packages=30, seed=11)
+        name = sorted(repo.all_package_names())[-1]
+        result = Concretizer(repo=repo).concretize(name)
+        assert result.spec.concrete
+
+
+class TestE4SWorkload:
+    def test_graph_statistics_shape(self, builtin_repo):
+        stats = e4s_graph_statistics(builtin_repo)
+        assert stats["num_roots"] >= 40
+        assert stats["num_dependencies"] > 100
+        assert stats["num_edges"] > 300
+        assert stats["num_packages"] == stats["num_roots"] + stats["num_dependencies"]
+
+    def test_all_roots_exist(self, builtin_repo):
+        for name in E4S_ROOTS:
+            assert builtin_repo.exists(name), name
+
+    def test_buildcache_subsets_are_nested(self):
+        from repro.spack.spec import Spec
+
+        def concrete(name, target, os_name):
+            spec = Spec(name=name, versions="1.0", os=os_name, target=target)
+            spec.mark_concrete()
+            return spec
+
+        database = Database()
+        database.add(concrete("a", "skylake", "rhel7"))
+        database.add(concrete("b", "power9le", "rhel7"))
+        database.add(concrete("c", "power9le", "rhel8"))
+        subsets = buildcache_subsets(database)
+        assert len(subsets["full"]) == 3
+        assert len(subsets["ppc64le"]) == 2
+        assert len(subsets["rhel7"]) == 2
+        assert len(subsets["ppc64le+rhel7"]) == 1

@@ -1,0 +1,225 @@
+"""Package DSL: directives, metaclass collection, repositories."""
+
+import pytest
+
+from repro.spack.directives import conflicts, depends_on, provides, variant, version
+from repro.spack.errors import PackageError, UnknownPackageError
+from repro.spack.package import (
+    AutotoolsPackage,
+    CMakePackage,
+    Package,
+    PythonPackage,
+    class_name_to_package_name,
+)
+from repro.spack.repo import Repository
+from repro.spack.version import Version
+
+
+class ExampleDsl(Package):
+    """Example depends on zlib, mpi, and optionally bzip2 (paper Figure 2)."""
+
+    version("1.1.0")
+    version("1.0.0")
+    variant("bzip", default=True, description="enable bzip")
+    depends_on("bzip2@1.0.7:", when="+bzip")
+    depends_on("zlib")
+    depends_on("zlib@1.2.8:", when="@1.1.0:")
+    depends_on("mpi")
+    conflicts("%intel")
+    conflicts("target=aarch64:")
+
+
+class TestClassNames:
+    @pytest.mark.parametrize(
+        "class_name,package_name",
+        [
+            ("Hdf5", "hdf5"),
+            ("Hpctoolkit", "hpctoolkit"),
+            ("PyNumpy", "py-numpy"),
+            ("NetlibScalapack", "netlib-scalapack"),
+            ("CBlosc", "c-blosc"),
+            ("UtilLinuxUuid", "util-linux-uuid"),
+            ("Bzip2", "bzip2"),
+        ],
+    )
+    def test_camel_to_kebab(self, class_name, package_name):
+        assert class_name_to_package_name(class_name) == package_name
+
+    def test_explicit_name_wins(self):
+        class Weird(Package):
+            name = "totally-different"
+            version("1.0")
+
+        assert Weird.name == "totally-different"
+
+
+class TestDirectiveCollection:
+    def test_versions_collected(self):
+        assert set(ExampleDsl.versions) == {Version("1.1.0"), Version("1.0.0")}
+
+    def test_variant_collected(self):
+        assert "bzip" in ExampleDsl.variants
+        assert ExampleDsl.variants["bzip"].default == "true"
+        assert ExampleDsl.variants["bzip"].is_boolean
+
+    def test_dependencies_collected_with_conditions(self):
+        by_name = {}
+        for dep in ExampleDsl.dependencies:
+            by_name.setdefault(dep.name, []).append(dep)
+        assert set(by_name) == {"bzip2", "zlib", "mpi"}
+        assert len(by_name["zlib"]) == 2
+        bzip_dep = by_name["bzip2"][0]
+        assert bzip_dep.when is not None and bzip_dep.when.variants["bzip"] == "true"
+
+    def test_conflicts_collected(self):
+        assert len(ExampleDsl.conflict_decls) == 2
+        assert any(c.spec.compiler == "intel" for c in ExampleDsl.conflict_decls)
+
+    def test_directives_do_not_leak_between_classes(self):
+        class First(Package):
+            version("1.0")
+            depends_on("zlib")
+
+        class Second(Package):
+            version("2.0")
+
+        assert len(Second.dependencies) == 0
+        assert len(First.dependencies) == 1
+
+    def test_version_weights_prefer_newest(self):
+        weights = ExampleDsl.version_weights()
+        assert weights[Version("1.1.0")] == 0
+        assert weights[Version("1.0.0")] == 1
+
+    def test_deprecated_versions_sort_last(self):
+        class HasDeprecated(Package):
+            version("2.0", deprecated=True)
+            version("1.0")
+
+        weights = HasDeprecated.version_weights()
+        assert weights[Version("1.0")] < weights[Version("2.0")]
+        assert HasDeprecated.preferred_version() == Version("1.0")
+
+    def test_preferred_version_flag(self):
+        class HasPreferred(Package):
+            version("2.0")
+            version("1.5", preferred=True)
+
+        assert HasPreferred.preferred_version() == Version("1.5")
+
+    def test_build_system_base_classes_add_dependencies(self):
+        class UsesCMake(CMakePackage):
+            version("1.0")
+
+        class UsesPython(PythonPackage):
+            version("1.0")
+
+        assert "cmake" in UsesCMake.dependency_names()
+        assert "python" in UsesPython.dependency_names()
+
+    def test_provides_collected(self):
+        class FakeMpi(AutotoolsPackage):
+            version("1.0")
+            provides("mpi")
+            provides("mpi@3:", when="@1.0:")
+
+        assert FakeMpi.provided_virtuals() == ["mpi"]
+
+
+class TestDirectiveValidation:
+    def test_non_boolean_variant_needs_values(self):
+        with pytest.raises(PackageError):
+            class Bad(Package):  # noqa: F841
+                variant("mode", default="fast")
+
+    def test_default_must_be_in_values(self):
+        with pytest.raises(PackageError):
+            class Bad(Package):  # noqa: F841
+                variant("mode", default="turbo", values=("fast", "slow"))
+
+    def test_depends_on_needs_named_spec(self):
+        with pytest.raises(PackageError):
+            class Bad(Package):  # noqa: F841
+                depends_on("+mpi")
+
+
+class TestRepository:
+    def _repo(self):
+        class Zlib(Package):
+            version("1.2.11")
+
+        class Mpich(Package):
+            version("3.1")
+            provides("mpi")
+
+        class Openmpi(Package):
+            version("4.1.0")
+            provides("mpi")
+
+        class App(Package):
+            version("1.0")
+            depends_on("zlib")
+            depends_on("mpi")
+
+        return Repository(name="test", packages=[Zlib, Mpich, Openmpi, App])
+
+    def test_lookup(self):
+        repo = self._repo()
+        assert repo.get("zlib").name == "zlib"
+        assert "app" in repo
+        assert len(repo) == 4
+
+    def test_unknown_package(self):
+        with pytest.raises(UnknownPackageError):
+            self._repo().get("nonexistent")
+
+    def test_virtual_detection(self):
+        repo = self._repo()
+        assert repo.is_virtual("mpi")
+        assert not repo.is_virtual("zlib")
+        assert repo.virtuals() == ["mpi"]
+
+    def test_providers_and_preferences(self):
+        repo = self._repo()
+        assert set(repo.providers_for("mpi")) == {"mpich", "openmpi"}
+        repo.set_provider_preference("mpi", ["openmpi", "mpich"])
+        assert repo.providers_for("mpi")[0] == "openmpi"
+        assert repo.provider_weights("mpi")["openmpi"] == 0
+
+    def test_possible_dependencies_expand_virtuals(self):
+        repo = self._repo()
+        possible = repo.possible_dependencies("app")
+        assert possible == {"app", "zlib", "mpich", "openmpi"}
+
+    def test_possible_dependencies_without_virtual_expansion(self):
+        repo = self._repo()
+        possible = repo.possible_dependencies("app", expand_virtuals=False)
+        assert "mpi" in possible or possible == {"app", "zlib", "mpi"}
+
+    def test_possible_dependency_count_excludes_self(self):
+        assert self._repo().possible_dependency_count("zlib") == 0
+
+    def test_missing_packages_recorded(self):
+        class Lonely(Package):
+            version("1.0")
+            depends_on("does-not-exist")
+
+        repo = Repository(name="missing", packages=[Lonely])
+        missing = set()
+        repo.possible_dependencies("lonely", missing=missing)
+        assert missing == {"does-not-exist"}
+
+    def test_duplicate_registration_raises(self):
+        repo = self._repo()
+
+        class Zlib(Package):  # same package name, different class
+            version("9.9")
+
+        with pytest.raises(PackageError):
+            repo.add(Zlib)
+
+    def test_dependency_edges(self):
+        repo = self._repo()
+        edges = repo.dependency_edges()
+        assert ("app", "zlib") in edges
+        assert ("app", "mpich") in edges

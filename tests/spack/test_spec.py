@@ -1,0 +1,167 @@
+"""Spec data model: constrain, satisfies, traversal, hashing, rendering."""
+
+import pytest
+
+from repro.spack.errors import SpackError
+from repro.spack.spec import Spec, target_matches
+from repro.spack.spec_parser import parse_spec
+
+
+class TestConstrain:
+    def test_constrain_merges_versions(self):
+        spec = parse_spec("hdf5@1.10:")
+        spec.constrain(parse_spec("hdf5@:1.12"))
+        assert spec.versions.includes(parse_spec("hdf5@1.11").versions.concrete)
+
+    def test_constrain_merges_variants(self):
+        spec = parse_spec("hdf5+mpi")
+        spec.constrain(parse_spec("hdf5+hl"))
+        assert spec.variants == {"mpi": "true", "hl": "true"}
+
+    def test_conflicting_variants_raise(self):
+        with pytest.raises(SpackError):
+            parse_spec("hdf5+mpi").constrain(parse_spec("hdf5~mpi"))
+
+    def test_conflicting_compilers_raise(self):
+        with pytest.raises(SpackError):
+            parse_spec("hdf5%gcc").constrain(parse_spec("hdf5%intel"))
+
+    def test_conflicting_names_raise(self):
+        with pytest.raises(SpackError):
+            parse_spec("hdf5").constrain(parse_spec("zlib"))
+
+    def test_anonymous_constrain_acquires_name(self):
+        spec = Spec()
+        spec.constrain(parse_spec("zlib@1.2"))
+        assert spec.name == "zlib"
+
+    def test_constrain_merges_dependencies(self):
+        spec = parse_spec("hdf5 ^zlib@1.2:")
+        spec.constrain(parse_spec("hdf5 ^zlib%gcc ^cmake"))
+        assert set(spec.dependencies) == {"zlib", "cmake"}
+        assert spec.dependencies["zlib"].compiler == "gcc"
+
+
+class TestSatisfies:
+    def test_version_satisfaction(self):
+        assert parse_spec("hdf5@1.10.2").satisfies("hdf5@1.10")
+        assert parse_spec("hdf5@1.10.2").satisfies("hdf5@1.8:1.12")
+        assert not parse_spec("hdf5@1.13.1").satisfies("hdf5@:1.12")
+
+    def test_variant_satisfaction(self):
+        assert parse_spec("hdf5+mpi").satisfies("+mpi")
+        assert not parse_spec("hdf5~mpi").satisfies("+mpi")
+        assert not parse_spec("hdf5").satisfies("+mpi")  # unset is not satisfied
+
+    def test_compiler_satisfaction(self):
+        assert parse_spec("hdf5%gcc@10.3.1").satisfies("%gcc")
+        assert parse_spec("hdf5%gcc@10.3.1").satisfies("%gcc@10:")
+        assert not parse_spec("hdf5%clang@14.0.6").satisfies("%gcc")
+
+    def test_anonymous_constraints(self):
+        node = parse_spec("example@1.1.0+bzip")
+        assert node.satisfies("@1.1.0:")
+        assert node.satisfies("+bzip")
+        assert not node.satisfies("@1.2:")
+
+    def test_name_mismatch(self):
+        assert not parse_spec("zlib@1.2").satisfies("hdf5")
+
+    def test_target_family_satisfaction(self):
+        assert parse_spec("hdf5 target=skylake").satisfies("target=x86_64")
+        assert not parse_spec("hdf5 target=skylake").satisfies("target=aarch64:")
+        assert parse_spec("hdf5 target=a64fx").satisfies("target=aarch64:")
+
+    def test_dependency_satisfaction(self):
+        parent = parse_spec("hdf5")
+        parent.dependencies["zlib"] = parse_spec("zlib@1.2.11")
+        assert parent.satisfies("hdf5 ^zlib@1.2:")
+        assert not parent.satisfies("hdf5 ^zlib@1.3:")
+        assert not parent.satisfies("hdf5 ^cmake")
+
+    def test_intersects(self):
+        assert parse_spec("hdf5@1.10:").intersects(parse_spec("hdf5@:1.12"))
+        assert not parse_spec("hdf5+mpi").intersects(parse_spec("hdf5~mpi"))
+
+
+class TestTargetMatches:
+    def test_exact(self):
+        assert target_matches("skylake", "skylake")
+        assert not target_matches("haswell", "skylake")
+
+    def test_family(self):
+        assert target_matches("skylake", "x86_64")
+        assert target_matches("power9le", "ppc64le")
+        assert not target_matches("power9le", "x86_64")
+
+    def test_open_range(self):
+        assert target_matches("cascadelake", "skylake:")
+        assert not target_matches("haswell", "skylake:")
+
+
+class TestTraversalAndHashing:
+    def _diamond(self):
+        d = parse_spec("d@1.0")
+        b = parse_spec("b@1.0")
+        c = parse_spec("c@1.0")
+        a = parse_spec("a@1.0")
+        b.dependencies["d"] = d
+        c.dependencies["d"] = d
+        a.dependencies["b"] = b
+        a.dependencies["c"] = c
+        for node in (a, b, c, d):
+            node.mark_concrete()
+        return a
+
+    def test_traverse_deduplicates(self):
+        a = self._diamond()
+        names = [s.name for s in a.traverse()]
+        assert sorted(names) == ["a", "b", "c", "d"]
+
+    def test_getitem_finds_transitive_dependency(self):
+        a = self._diamond()
+        assert a["d"].name == "d"
+        assert "d" in a
+        with pytest.raises(KeyError):
+            a["nonexistent"]
+
+    def test_dag_hash_is_stable(self):
+        assert self._diamond().dag_hash() == self._diamond().dag_hash()
+
+    def test_dag_hash_changes_with_content(self):
+        a1 = self._diamond()
+        a2 = self._diamond()
+        a2["d"].variants["pic"] = "true"
+        a2["d"]._dag_hash = None
+        for node in a2.traverse():
+            node._dag_hash = None
+        assert a1.dag_hash() != a2.dag_hash()
+
+    def test_to_dict_roundtrip(self):
+        a = self._diamond()
+        clone = Spec.from_dict(a.to_dict())
+        assert clone == a
+        assert clone.dag_hash() == a.dag_hash()
+
+    def test_copy_is_deep(self):
+        a = self._diamond()
+        clone = a.copy()
+        clone["d"].variants["pic"] = "false"
+        assert "pic" not in a["d"].variants
+
+
+class TestRendering:
+    def test_str_roundtrips_through_parser(self):
+        spec = parse_spec("hdf5@1.10.2+mpi~hl api=v18 %gcc@10.3.1 os=rhel7 target=skylake")
+        reparsed = parse_spec(str(spec))
+        assert reparsed == spec
+
+    def test_tree_contains_all_nodes(self):
+        parent = parse_spec("hdf5")
+        parent.dependencies["zlib"] = parse_spec("zlib@1.2.11")
+        tree = parent.tree()
+        assert "hdf5" in tree and "zlib" in tree
+
+    def test_boolean_variants_render_with_sigils(self):
+        text = str(parse_spec("hdf5+mpi~hl"))
+        assert "+mpi" in text and "~hl" in text

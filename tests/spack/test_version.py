@@ -1,0 +1,133 @@
+"""Version, VersionRange, and VersionList semantics."""
+
+import pytest
+
+from repro.spack.errors import VersionError
+from repro.spack.version import (
+    Version,
+    VersionList,
+    VersionRange,
+    parse_single_constraint,
+    parse_version_constraint,
+    ver,
+)
+
+
+class TestVersionOrdering:
+    def test_numeric_ordering(self):
+        assert Version("1.2.3") < Version("1.2.10")
+        assert Version("1.9") < Version("1.10")
+        assert Version("2.0") > Version("1.99.99")
+
+    def test_equality(self):
+        assert Version("1.2.3") == Version("1.2.3")
+        assert Version("1.2.3") != Version("1.2.4")
+
+    def test_shorter_version_is_smaller_when_prefix(self):
+        assert Version("1.10") < Version("1.10.2")
+
+    def test_letter_components_sort_before_numbers(self):
+        # pre-release style suffixes come before the plain version
+        assert Version("1.0a") < Version("1.0.1")
+
+    def test_sorting_a_release_series(self):
+        versions = [Version(v) for v in ("1.10.2", "1.8.22", "1.14.1", "1.12.2")]
+        assert [str(v) for v in sorted(versions)] == ["1.8.22", "1.10.2", "1.12.2", "1.14.1"]
+
+    def test_hashable(self):
+        assert len({Version("1.0"), Version("1.0"), Version("2.0")}) == 2
+
+    def test_invalid_versions_rejected(self):
+        with pytest.raises(VersionError):
+            Version("")
+        with pytest.raises(VersionError):
+            Version("1.0 beta")
+
+    def test_up_to(self):
+        assert Version("1.2.3").up_to(2) == Version("1.2")
+
+
+class TestPrefixSemantics:
+    def test_is_prefix_of(self):
+        assert Version("1.10").is_prefix_of(Version("1.10.2"))
+        assert not Version("1.10").is_prefix_of(Version("1.100"))
+        assert not Version("1.10.2").is_prefix_of(Version("1.10"))
+
+    def test_version_constraint_matches_prefix_extensions(self):
+        assert Version("1.10.2").satisfies(Version("1.10"))
+        assert not Version("1.11.0").satisfies(Version("1.10"))
+
+
+class TestVersionRange:
+    def test_open_upper(self):
+        constraint = parse_single_constraint("1.0.7:")
+        assert isinstance(constraint, VersionRange)
+        assert constraint.includes(Version("1.0.7"))
+        assert constraint.includes(Version("1.0.8"))
+        assert constraint.includes(Version("2.0"))
+        assert not constraint.includes(Version("1.0.6"))
+
+    def test_open_lower(self):
+        constraint = parse_single_constraint(":1.2")
+        assert constraint.includes(Version("1.2"))
+        assert constraint.includes(Version("1.0"))
+        assert constraint.includes(Version("1.2.5"))  # prefix extension of the bound
+        assert not constraint.includes(Version("1.3"))
+
+    def test_bounded_range(self):
+        constraint = parse_single_constraint("1.2:1.4")
+        assert constraint.includes(Version("1.2"))
+        assert constraint.includes(Version("1.3.9"))
+        assert constraint.includes(Version("1.4.9"))
+        assert not constraint.includes(Version("1.5"))
+        assert not constraint.includes(Version("1.1"))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(VersionError):
+            VersionRange(Version("2.0"), Version("1.0"))
+
+    def test_intersection(self):
+        assert VersionRange(Version("1.0"), None).intersects(VersionRange(None, Version("2.0")))
+        assert not VersionRange(Version("3.0"), None).intersects(
+            VersionRange(None, Version("2.0"))
+        )
+
+    def test_string_roundtrip(self):
+        assert str(parse_single_constraint("1.2:1.4")) == "1.2:1.4"
+        assert str(parse_single_constraint("1.2:")) == "1.2:"
+
+
+class TestVersionList:
+    def test_empty_list_is_any(self):
+        any_versions = VersionList()
+        assert any_versions.is_any
+        assert any_versions.includes(Version("42.0"))
+
+    def test_union_semantics(self):
+        constraint = parse_version_constraint("1.2,2.0:2.4")
+        assert constraint.includes(Version("1.2"))
+        assert constraint.includes(Version("2.3"))
+        assert not constraint.includes(Version("1.3"))
+        assert not constraint.includes(Version("2.5"))
+
+    def test_concrete(self):
+        assert parse_version_constraint("1.2.11").concrete == Version("1.2.11")
+        assert parse_version_constraint("1.2:").concrete is None
+
+    def test_constrain_compatible(self):
+        merged = parse_version_constraint("1.0:").constrain(parse_version_constraint(":2.0"))
+        assert merged.includes(Version("1.5"))
+
+    def test_constrain_incompatible_raises(self):
+        with pytest.raises(VersionError):
+            parse_version_constraint("3.0:").constrain(parse_version_constraint(":2.0"))
+
+    def test_satisfies(self):
+        assert parse_version_constraint("1.2.11").satisfies(parse_version_constraint("1.2:"))
+        assert not parse_version_constraint("1.1").satisfies(parse_version_constraint("1.2:"))
+        assert parse_version_constraint("1.2:1.9").satisfies(VersionList())
+
+    def test_ver_helper(self):
+        assert isinstance(ver("1.2"), Version)
+        assert isinstance(ver("1.2:"), VersionRange)
+        assert isinstance(ver("1.2,1.4"), VersionList)
