@@ -15,12 +15,24 @@ The package is organised in two layers:
 """
 
 from repro.asp.configs import SolverConfig
-from repro.asp.control import Control, SolveResult
+from repro.asp.control import Control, PreparedProgram, SolveResult
+from repro.spack.concretize import (
+    ConcretizationResult,
+    ConcretizationSession,
+    Concretizer,
+)
+from repro.spack.store import Database, SolveCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ConcretizationResult",
+    "ConcretizationSession",
+    "Concretizer",
     "Control",
+    "Database",
+    "PreparedProgram",
+    "SolveCache",
     "SolveResult",
     "SolverConfig",
     "__version__",

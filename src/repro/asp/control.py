@@ -32,6 +32,27 @@ from repro.asp.solver import CDCLSolver
 from repro.asp.stats import PhaseTimer
 from repro.asp.syntax import Program, ground_atom
 
+#: Parsed-program memo: the concretizer loads the same ~300-line logic program
+#: for every solve, so lexing/parsing it once per process is a free win.  The
+#: cached Program objects are treated as immutable by all consumers.
+_PARSE_CACHE: Dict[str, Program] = {}
+_PARSE_CACHE_LIMIT = 32
+
+
+def parse_program_cached(text: str) -> Program:
+    """Parse ASP source text with per-process memoization.
+
+    Callers must not mutate the returned Program (extend a fresh Program
+    instead, as :meth:`Control.load` does).
+    """
+    program = _PARSE_CACHE.get(text)
+    if program is None:
+        program = parse_program(text)
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = program
+    return program
+
 
 class Model:
     """A stable model: a set of ground atoms with convenient accessors."""
@@ -103,7 +124,7 @@ class Control:
     def load(self, text: str) -> "Control":
         """Parse ASP source text and add it to the program ("load" phase)."""
         with self.timer.phase("load"):
-            parsed = parse_program(text)
+            parsed = parse_program_cached(text)
             self.program.extend(parsed)
         return self
 
@@ -129,6 +150,12 @@ class Control:
             grounder = Grounder(self.program, self.extra_facts)
             self.ground_program = grounder.ground()
         return self.ground_program
+
+    def adopt_ground(self, ground_program: GroundProgram) -> "Control":
+        """Adopt an externally produced ground program (see
+        :class:`PreparedProgram`); :meth:`solve` will use it directly."""
+        self.ground_program = ground_program
+        return self
 
     # -- solving ---------------------------------------------------------------
 
@@ -193,6 +220,73 @@ class Control:
         self.add_facts(facts)
         self.ground()
         return self.solve()
+
+
+class PreparedProgram:
+    """A logic program parsed once and grounded once against a shared base
+    fact layer, from which per-solve controls are forked cheaply.
+
+    This is the reusable-ground-program primitive behind batch
+    concretization: the program text and the spec-independent facts are
+    lexed/parsed/grounded exactly once, and every :meth:`fork` only clones
+    the ground state and layers its extra facts incrementally
+    (:meth:`repro.asp.grounder.Grounder.ground_delta`).
+
+    The delta facts handed to :meth:`fork` must obey the layering contract
+    documented on :class:`~repro.asp.grounder.Grounder` (fresh condition
+    ids/keys only).
+    """
+
+    def __init__(
+        self,
+        text: str,
+        base_facts: Sequence[Tuple] = (),
+        config: Optional[SolverConfig] = None,
+        possible_hints: Sequence[Tuple] = (),
+    ):
+        self.config = config or SolverConfig.preset("tweety")
+        self.timer = PhaseTimer()
+        with self.timer.phase("load"):
+            self.program = parse_program_cached(text)
+        atoms = [ground_atom(*fact) for fact in base_facts]
+        hints = [ground_atom(*hint) for hint in possible_hints]
+        with self.timer.phase("ground"):
+            self._base = Grounder(self.program, atoms, possible_hints=hints)
+            self._base.ground()
+        self.forks = 0
+
+    @property
+    def base_ground_program(self) -> GroundProgram:
+        """The shared (spec-independent) ground program."""
+        return self._base.ground_program
+
+    def statistics(self) -> Dict[str, object]:
+        return {
+            "base_groundings": self._base.base_groundings,
+            "forks": self.forks,
+            "base_ground": self._base.ground_program.statistics(),
+            "base_timings": self.timer.as_dict(),
+        }
+
+    def fork(
+        self,
+        extra_facts: Sequence[Tuple] = (),
+        config: Optional[SolverConfig] = None,
+    ) -> Control:
+        """A :class:`Control` holding base + ``extra_facts``, ready to solve.
+
+        Only the delta facts are ground here; the shared base program is
+        reused as-is.  The returned control's timer accounts the incremental
+        grounding under "ground" (its "load" is zero — parsing happened once,
+        in :meth:`__init__`).
+        """
+        self.forks += 1
+        control = Control(config=config or self.config)
+        with control.timer.phase("ground"):
+            grounder = self._base.clone()
+            grounder.ground_delta([ground_atom(*fact) for fact in extra_facts])
+        control.adopt_ground(grounder.ground_program)
+        return control
 
 
 def solve_program(

@@ -86,6 +86,13 @@ class AtomTable:
             self._to_atom.append(atom)
         return atom_id
 
+    def copy(self) -> "AtomTable":
+        """An independent copy (atoms themselves are immutable tuples)."""
+        table = AtomTable.__new__(AtomTable)
+        table._to_id = dict(self._to_id)
+        table._to_atom = list(self._to_atom)
+        return table
+
     def lookup(self, atom: GroundAtom) -> Optional[int]:
         return self._to_id.get(atom)
 
@@ -108,6 +115,21 @@ class GroundProgram:
     constraints: List[GroundConstraint] = field(default_factory=list)
     choices: List[GroundChoice] = field(default_factory=list)
     minimize_literals: List[GroundMinimizeLiteral] = field(default_factory=list)
+
+    def copy(self) -> "GroundProgram":
+        """A fork that can be extended without touching this program.
+
+        Rules, constraints, choices, and minimize literals are frozen
+        dataclasses, so sharing the elements between the copies is safe.
+        """
+        return GroundProgram(
+            atoms=self.atoms.copy(),
+            facts=set(self.facts),
+            rules=list(self.rules),
+            constraints=list(self.constraints),
+            choices=list(self.choices),
+            minimize_literals=list(self.minimize_literals),
+        )
 
     # -- statistics ---------------------------------------------------------
 

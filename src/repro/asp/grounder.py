@@ -73,6 +73,13 @@ class _Relation:
             return self.tuples
         return self.index0.get(first_value, [])
 
+    def copy(self) -> "_Relation":
+        relation = _Relation.__new__(_Relation)
+        relation.tuples = list(self.tuples)
+        relation._seen = set(self._seen)
+        relation.index0 = {key: list(values) for key, values in self.index0.items()}
+        return relation
+
 
 class _AtomDatabase:
     """Possible/certain atom storage keyed by predicate name."""
@@ -103,6 +110,13 @@ class _AtomDatabase:
         if relation is None:
             return []
         return relation.candidates(first_value)
+
+    def copy(self) -> "_AtomDatabase":
+        database = _AtomDatabase()
+        database.relations = {
+            name: relation.copy() for name, relation in self.relations.items()
+        }
+        return database
 
 
 def _pattern_first_value(atom: Atom, substitution: Substitution):
@@ -169,9 +183,31 @@ def _collect_variables(items: Iterable) -> Set[str]:
 
 
 class Grounder:
-    """Grounds a :class:`Program` (plus programmatic facts) bottom-up."""
+    """Grounds a :class:`Program` (plus programmatic facts) bottom-up.
 
-    def __init__(self, program: Program, extra_facts: Sequence[tuple] = ()):
+    Besides the one-shot :meth:`ground`, a grounder supports *incremental
+    extra-facts layering*: after a base grounding, :meth:`clone` forks the
+    whole grounding state cheaply (no joins, just data-structure copies) and
+    :meth:`ground_delta` grounds additional facts semi-naively — only rule
+    instances touching at least one new atom are enumerated, so the shared
+    base program is grounded exactly once however many layers are forked on
+    top of it.  This is what makes batch concretization sessions fast.
+
+    Contract for delta facts: they may introduce new atoms freely, but they
+    must not extend relations that appear in conditional-literal or
+    choice-element *conditions* for bindings that were already instantiated
+    during the base grounding (e.g. adding ``condition_requirement`` rows for
+    a pre-existing condition id would leave stale, weaker rule instances in
+    the ground program).  Fresh ids/keys are always safe — which is exactly
+    how the concretizer's spec-dependent fact layer is constructed.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        extra_facts: Sequence[tuple] = (),
+        possible_hints: Sequence[tuple] = (),
+    ):
         self.program = program
         self.ground_program = GroundProgram()
         self.possible = _AtomDatabase()
@@ -179,7 +215,21 @@ class Grounder:
         self._rule_keys: Set[tuple] = set()
         self._choice_keys: Set[tuple] = set()
         self._constraint_keys: Set[tuple] = set()
+        self._minimize_keys: Set[tuple] = set()
         self._extra_facts = list(extra_facts)
+        #: atoms marked *possible* (but not certain, and not facts) before
+        #: grounding starts.  Sound over-approximation knob: hinted atoms
+        #: that never gain support are forced false by completion, so extra
+        #: hints cost ground-program size, never correctness.  A base layer
+        #: uses them to pre-ground rules whose triggers arrive only in later
+        #: delta layers (e.g. "any possible package may become a root").
+        self._possible_hints = list(possible_hints)
+        self._components: Optional[List[List[Rule]]] = None
+        self._constraints: Optional[List[Rule]] = None
+        self._delta: Optional[_AtomDatabase] = None
+        #: how many times this grounder ran a full base grounding / delta layer
+        self.base_groundings = 0
+        self.delta_groundings = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -190,13 +240,69 @@ class Grounder:
         for minimize in self.program.minimizes:
             self._check_minimize_safety(minimize)
         self._add_facts(facts)
-        components = self._stratify(rules)
-        for component_rules in components:
+        for atom in self._possible_hints:
+            self.possible.add(atom[0], tuple(atom[1:]))
+        self._components = self._stratify(rules)
+        self._constraints = constraints
+        for component_rules in self._components:
             self._ground_component(component_rules)
         for constraint in constraints:
             self._ground_constraint(constraint)
         for minimize in self.program.minimizes:
             self._ground_minimize(minimize)
+        self.base_groundings += 1
+        return self.ground_program
+
+    def clone(self) -> "Grounder":
+        """Fork the complete grounding state (program objects are shared).
+
+        The clone can be extended with :meth:`ground_delta` without touching
+        this grounder, so one base grounding can serve many solves.
+        """
+        other = Grounder.__new__(Grounder)
+        other.program = self.program
+        other.ground_program = self.ground_program.copy()
+        other.possible = self.possible.copy()
+        other.certain = self.certain.copy()
+        other._rule_keys = set(self._rule_keys)
+        other._choice_keys = set(self._choice_keys)
+        other._constraint_keys = set(self._constraint_keys)
+        other._minimize_keys = set(self._minimize_keys)
+        other._extra_facts = list(self._extra_facts)
+        other._possible_hints = list(self._possible_hints)
+        other._components = self._components
+        other._constraints = self._constraints
+        other._delta = None
+        other.base_groundings = self.base_groundings
+        other.delta_groundings = self.delta_groundings
+        return other
+
+    def ground_delta(self, extra_facts: Sequence[tuple]) -> GroundProgram:
+        """Ground additional facts on top of a completed :meth:`ground`.
+
+        Rule instantiation is restricted to instances where at least one
+        positive body literal matches an atom that is new in this layer
+        (semi-naive evaluation); everything grounded before stays valid and
+        is not re-derived.
+        """
+        if self._components is None:
+            self._extra_facts.extend(extra_facts)
+            return self.ground()
+        delta = _AtomDatabase()
+        for atom in extra_facts:
+            name, args = atom[0], tuple(atom[1:])
+            if self.possible.add(name, args):
+                delta.add(name, args)
+            self.certain.add(name, args)
+            atom_id = self.ground_program.atoms.intern(atom)
+            self.ground_program.facts.add(atom_id)
+        for component_rules in self._components:
+            self._ground_component(component_rules, delta)
+        for constraint in self._constraints:
+            self._ground_constraint(constraint, delta)
+        for minimize in self.program.minimizes:
+            self._ground_minimize(minimize, delta)
+        self.delta_groundings += 1
         return self.ground_program
 
     # -- setup ----------------------------------------------------------------
@@ -394,6 +500,34 @@ class Grounder:
             if extended is not None:
                 yield from self._join_step(rest, remaining_comparisons, extended, database)
 
+    def _join_delta(
+        self,
+        positives: List[Literal],
+        comparisons: List[Comparison],
+        delta: _AtomDatabase,
+        database: _AtomDatabase,
+    ) -> Iterator[Substitution]:
+        """Enumerate substitutions where >= 1 positive literal matches a
+        *delta* atom (the rest join against the full database).
+
+        Instances touching several delta atoms are found once per seed; the
+        caller's dedup keys make that harmless.  Bodies without positive
+        literals cannot gain new instances from added facts, so they yield
+        nothing here.
+        """
+        for index, literal in enumerate(positives):
+            name = literal.atom.name
+            if delta.count(name) == 0:
+                continue
+            rest = positives[:index] + positives[index + 1 :]
+            first = _pattern_first_value(literal.atom, {})
+            for args in delta.candidates(name, first):
+                substitution = _match_atom(literal.atom, args, {})
+                if substitution is not None:
+                    yield from self._join_step(
+                        rest, list(comparisons), substitution, database
+                    )
+
     # -- body grounding -----------------------------------------------------------
 
     def _split_body(self, body):
@@ -449,12 +583,14 @@ class Grounder:
         return pos_atoms, neg_atoms
 
     def _ground_body(
-        self, body, database: _AtomDatabase
+        self, body, database: _AtomDatabase, delta: Optional[_AtomDatabase] = None
     ) -> Iterator[Optional[Tuple[Substitution, List[tuple], List[tuple]]]]:
         """Yield (substitution, pos_atoms, neg_atoms) for every body instance.
 
         Positive atoms that are certain facts are dropped; instances whose
-        negative literals contradict certain facts are skipped.
+        negative literals contradict certain facts are skipped.  With
+        ``delta``, only instances touching at least one delta atom through a
+        positive literal are produced (incremental grounding).
         """
         positives, negatives, comparisons, conditionals = self._split_body(body)
 
@@ -466,7 +602,11 @@ class Grounder:
                     f"unsafe variables {sorted(unbound)} in negative literal {negative}"
                 )
 
-        for substitution in self._join(positives, comparisons, {}, database):
+        if delta is None:
+            substitutions = self._join(positives, comparisons, {}, database)
+        else:
+            substitutions = self._join_delta(positives, comparisons, delta, database)
+        for substitution in substitutions:
             pos_atoms: List[tuple] = []
             neg_atoms: List[tuple] = []
             feasible = True
@@ -503,26 +643,58 @@ class Grounder:
 
     # -- component grounding ---------------------------------------------------------
 
-    def _ground_component(self, rules: List[Rule]):
-        changed = True
-        while changed:
-            changed = False
-            for rule in rules:
-                if isinstance(rule.head, Choice):
-                    if self._ground_choice_rule(rule):
-                        changed = True
-                else:
-                    if self._ground_normal_rule(rule):
-                        changed = True
+    def _ground_component(self, rules: List[Rule], delta: Optional[_AtomDatabase] = None):
+        if delta is None:
+            changed = True
+            while changed:
+                changed = False
+                for rule in rules:
+                    if isinstance(rule.head, Choice):
+                        if self._ground_choice_rule(rule):
+                            changed = True
+                    else:
+                        if self._ground_normal_rule(rule):
+                            changed = True
+            return
+
+        # Semi-naive: each iteration seeds joins only from the atoms derived
+        # in the previous one, so the pass-wide delta is never re-scanned.
+        current = delta
+        while True:
+            next_delta = _AtomDatabase()
+            self._delta = next_delta
+            try:
+                for rule in rules:
+                    if isinstance(rule.head, Choice):
+                        self._ground_choice_rule(rule, current)
+                    else:
+                        self._ground_normal_rule(rule, current)
+            finally:
+                self._delta = None
+            new_atoms = False
+            for name, relation in next_delta.relations.items():
+                for args in relation.tuples:
+                    delta.add(name, args)
+                    new_atoms = True
+            if not new_atoms:
+                break
+            current = next_delta
 
     def _intern(self, atom: tuple) -> int:
         return self.ground_program.atoms.intern(atom)
 
-    def _ground_normal_rule(self, rule: Rule) -> bool:
+    def _add_possible(self, name: str, args: tuple):
+        """Record a derived atom as possible (and as delta when layering)."""
+        if self.possible.add(name, args) and self._delta is not None:
+            self._delta.add(name, args)
+
+    def _ground_normal_rule(self, rule: Rule, delta: Optional[_AtomDatabase] = None) -> bool:
         head: Atom = rule.head
         changed = False
         head_variables = set(v.name for v in head.variables())
-        for substitution, pos_atoms, neg_atoms in self._ground_body(rule.body, self.possible):
+        for substitution, pos_atoms, neg_atoms in self._ground_body(
+            rule.body, self.possible, delta
+        ):
             unbound = head_variables - set(substitution)
             if unbound:
                 raise GroundingError(
@@ -537,7 +709,7 @@ class Grounder:
 
             name, args = head_atom[0], tuple(head_atom[1:])
             head_id = self._intern(head_atom)
-            self.possible.add(name, args)
+            self._add_possible(name, args)
 
             if not pos_atoms and not neg_atoms:
                 # The body is certainly true: the head is a fact.
@@ -555,10 +727,12 @@ class Grounder:
             )
         return changed
 
-    def _ground_choice_rule(self, rule: Rule) -> bool:
+    def _ground_choice_rule(self, rule: Rule, delta: Optional[_AtomDatabase] = None) -> bool:
         choice: Choice = rule.head
         changed = False
-        for substitution, pos_atoms, neg_atoms in self._ground_body(rule.body, self.possible):
+        for substitution, pos_atoms, neg_atoms in self._ground_body(
+            rule.body, self.possible, delta
+        ):
             candidates: List[tuple] = []
             for element in choice.elements:
                 candidates.extend(self._expand_choice_element(element, substitution))
@@ -573,7 +747,7 @@ class Grounder:
             candidate_ids = []
             for atom in candidates:
                 name, args = atom[0], tuple(atom[1:])
-                self.possible.add(name, args)
+                self._add_possible(name, args)
                 candidate_ids.append(self._intern(atom))
 
             self.ground_program.choices.append(
@@ -618,8 +792,8 @@ class Grounder:
 
     # -- constraints and minimize ----------------------------------------------------
 
-    def _ground_constraint(self, rule: Rule):
-        for _, pos_atoms, neg_atoms in self._ground_body(rule.body, self.possible):
+    def _ground_constraint(self, rule: Rule, delta: Optional[_AtomDatabase] = None):
+        for _, pos_atoms, neg_atoms in self._ground_body(rule.body, self.possible, delta):
             key = (tuple(pos_atoms), tuple(neg_atoms))
             if key in self._constraint_keys:
                 continue
@@ -631,10 +805,10 @@ class Grounder:
                 )
             )
 
-    def _ground_minimize(self, minimize: Minimize):
+    def _ground_minimize(self, minimize: Minimize, delta: Optional[_AtomDatabase] = None):
         for element in minimize.elements:
             for substitution, pos_atoms, neg_atoms in self._ground_body(
-                element.condition, self.possible
+                element.condition, self.possible, delta
             ):
                 weight = evaluate_term(element.weight, substitution)
                 priority = evaluate_term(element.priority, substitution)
@@ -643,6 +817,10 @@ class Grounder:
                         f"minimize weight/priority must be integers: {element}"
                     )
                 terms = tuple(evaluate_term(t, substitution) for t in element.terms)
+                key = (priority, weight, terms, tuple(pos_atoms), tuple(neg_atoms))
+                if key in self._minimize_keys:
+                    continue
+                self._minimize_keys.add(key)
                 self.ground_program.minimize_literals.append(
                     GroundMinimizeLiteral(
                         priority=priority,

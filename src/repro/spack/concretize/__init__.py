@@ -9,17 +9,28 @@ original greedy baseline.
   fixed-point algorithm Spack used before, which is neither complete nor
   optimal (Section III-C); used as the baseline in Figure 7h and in the
   usability comparisons of Section VI-B.
+* :class:`repro.spack.concretize.session.ConcretizationSession` — batch
+  concretization: many root specs against one shared, incrementally layered
+  grounding, with content-hash-keyed ground and solve caches.
 """
 
 from repro.spack.concretize.concretizer import ConcretizationResult, Concretizer
 from repro.spack.concretize.criteria import CRITERIA, Criterion, describe_costs
 from repro.spack.concretize.original import OriginalConcretizer
+from repro.spack.concretize.session import (
+    ConcretizationSession,
+    SessionStatistics,
+    compute_content_hash,
+)
 
 __all__ = [
     "CRITERIA",
     "ConcretizationResult",
+    "ConcretizationSession",
     "Concretizer",
     "Criterion",
     "OriginalConcretizer",
+    "SessionStatistics",
+    "compute_content_hash",
     "describe_costs",
 ]

@@ -64,6 +64,35 @@ class ConcretizationResult:
         return "\n".join(lines)
 
 
+def result_from_solve(
+    abstract: Sequence[Spec],
+    result,
+    statistics: Dict[str, object],
+) -> ConcretizationResult:
+    """Turn a satisfiable solver outcome into a :class:`ConcretizationResult`
+    (shared by :class:`Concretizer` and the batch concretization session)."""
+    if not result.satisfiable:
+        requested = ", ".join(str(s) for s in abstract)
+        raise UnsatisfiableSpecError(
+            f"no valid concretization exists for: {requested}"
+        )
+
+    specs_by_name = extract_specs(result.model)
+    roots = root_specs(result.model, specs_by_name)
+    built, reused = built_and_reused(result.model)
+
+    return ConcretizationResult(
+        roots=roots,
+        specs=specs_by_name,
+        costs=result.costs,
+        timings=result.timings,
+        statistics=statistics,
+        built=built,
+        reused=reused,
+        model=result.model,
+    )
+
+
 class Concretizer:
     """The new, complete, optimizing concretizer."""
 
@@ -119,26 +148,7 @@ class Concretizer:
             **result.statistics,
         }
 
-        if not result.satisfiable:
-            requested = ", ".join(str(s) for s in abstract)
-            raise UnsatisfiableSpecError(
-                f"no valid concretization exists for: {requested}"
-            )
-
-        specs_by_name = extract_specs(result.model)
-        roots = root_specs(result.model, specs_by_name)
-        built, reused = built_and_reused(result.model)
-
-        return ConcretizationResult(
-            roots=roots,
-            specs=specs_by_name,
-            costs=result.costs,
-            timings=result.timings,
-            statistics=statistics,
-            built=built,
-            reused=reused,
-            model=result.model,
-        )
+        return result_from_solve(abstract, result, statistics)
 
     def concretize(self, spec: Union[str, Spec]) -> ConcretizationResult:
         """Concretize a single abstract spec."""

@@ -67,22 +67,77 @@ class ProblemEncoder:
         self._compiler_constraints: Dict[str, Set[str]] = {}
         self._extra_versions: Dict[str, Set[str]] = {}
         self._possible: Set[str] = set()
+        # (package, constraint) pairs whose version_possible /
+        # compiler_version_possible support facts were already emitted —
+        # lets a forked encoder emit only the pairs its spec introduced.
+        self._emitted_version_pairs: Set[Tuple[str, str]] = set()
+        self._emitted_compiler_pairs: Set[Tuple[str, str]] = set()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
     def encode(self, specs: Sequence[Spec]) -> List[Fact]:
-        """Produce all facts for concretizing ``specs`` together."""
+        """Produce all facts for concretizing ``specs`` together.
+
+        Same components as the layered :meth:`encode_base` /
+        :meth:`encode_delta` API, in the classic one-shot order (input specs
+        first, so they take the lowest condition ids).
+        """
         self._determine_possible_packages(specs)
-        self._encode_platform()
-        self._encode_compilers()
-
-        installed = self._relevant_installed_specs()
-        self._collect_installed_versions(installed)
-
+        installed = self._encode_context()
         for spec in specs:
             self._encode_input_spec(spec)
+        self._encode_universe(installed)
+        self._encode_constraint_support()
+        self.stats.facts = len(self.facts)
+        return self.facts
+
+    @property
+    def possible_packages(self) -> Set[str]:
+        """Names (packages and virtuals) this encoding considers possible."""
+        return set(self._possible)
+
+    # -- layered encoding (batch concretization sessions) ---------------
+
+    def encode_base(self, specs: Optional[Sequence[Spec]] = None) -> List[Fact]:
+        """The *spec-independent* fact layer.
+
+        Covers everything derived from the repository, platform, compiler
+        registry, and (with reuse) the installed-package store: package
+        versions/variants/dependencies/conflicts/provides, virtual providers,
+        installed hashes, and the version/compiler constraint-membership
+        facts for every constraint those declarations mention.  Nothing in
+        this layer depends on what the user asked to concretize, so it can be
+        grounded once and shared across solves.
+
+        With ``specs``, possible packages are restricted to the union
+        reachable from them (what a batch session uses); without, the whole
+        repository is encoded.
+        """
+        if specs is not None:
+            self._determine_possible_packages(specs)
+        else:
+            names = self.repo.all_package_names()
+            self._possible = self.repo.possible_dependencies(*names)
+            self.stats.possible_packages = len(self._possible)
+        installed = self._encode_context()
+        self._encode_universe(installed)
+        self._encode_constraint_support()
+        self.stats.facts = len(self.facts)
+        return self.facts
+
+    def _encode_context(self) -> List[Spec]:
+        """Platform + compiler facts; returns the relevant installed specs
+        (whose versions must be known before packages are encoded)."""
+        self._encode_platform()
+        self._encode_compilers()
+        installed = self._relevant_installed_specs()
+        self._collect_installed_versions(installed)
+        return installed
+
+    def _encode_universe(self, installed: Sequence[Spec]):
+        """Package declarations, virtual providers, and installed hashes."""
         for name in sorted(self._possible):
             if self.repo.exists(name):
                 self._encode_package(name)
@@ -90,11 +145,55 @@ class ProblemEncoder:
         for installed_spec in installed:
             self._encode_installed(installed_spec)
 
-        # version_possible / compiler_version_possible facts must come last:
-        # every constraint string seen anywhere has been registered by now.
+    def _encode_constraint_support(self):
+        """version_possible / compiler_version_possible membership facts.
+
+        Must come after everything else: every constraint string seen
+        anywhere has been registered by then.  Emits each (package,
+        constraint) pair once per encoder lineage, so delta layers only add
+        the pairs their input specs introduced.
+        """
         self._encode_version_constraints()
         self._encode_compiler_constraints()
 
+    def fork(self) -> "ProblemEncoder":
+        """A child encoder for one solve's *spec-dependent* layer.
+
+        The child continues this encoder's condition-id sequence and knows
+        which constraint support facts the base already emitted, so its
+        :meth:`encode_delta` output can be layered onto the base grounding
+        without colliding with it.
+        """
+        child = ProblemEncoder(
+            self.repo,
+            platform=self.platform,
+            compilers=self.compilers,
+            store=self.store,
+            reuse=self.reuse,
+        )
+        child._condition_counter = self._condition_counter
+        child._version_constraints = {k: set(v) for k, v in self._version_constraints.items()}
+        child._compiler_constraints = {k: set(v) for k, v in self._compiler_constraints.items()}
+        child._extra_versions = {k: set(v) for k, v in self._extra_versions.items()}
+        child._possible = set(self._possible)
+        child._emitted_version_pairs = set(self._emitted_version_pairs)
+        child._emitted_compiler_pairs = set(self._emitted_compiler_pairs)
+        child.stats.possible_packages = self.stats.possible_packages
+        child.stats.installed_candidates = self.stats.installed_candidates
+        return child
+
+    def encode_delta(self, specs: Sequence[Spec]) -> List[Fact]:
+        """The *spec-dependent* fact layer for ``specs`` (on a fork).
+
+        Emits the roots, their imposed constraints (as fresh conditions), and
+        constraint-membership facts only for version/compiler constraints the
+        input specs introduced beyond the base layer.
+        """
+        for spec in specs:
+            if spec.name is None:
+                raise SpackError("cannot concretize an anonymous spec")
+            self._encode_input_spec(spec)
+        self._encode_constraint_support()
         self.stats.facts = len(self.facts)
         return self.facts
 
@@ -102,15 +201,24 @@ class ProblemEncoder:
     # Possible packages
     # ------------------------------------------------------------------
 
-    def _determine_possible_packages(self, specs: Sequence[Spec]):
+    @staticmethod
+    def possible_packages_for(repo: Repository, specs: Sequence[Spec]) -> Set[str]:
+        """Names reachable from ``specs`` in ``repo`` (the encoding universe).
+
+        Exposed so callers that key caches on the reachable set (the batch
+        session) use the exact computation the encoding itself uses.
+        """
         roots: List[str] = []
         for spec in specs:
             if spec.name is None:
                 raise SpackError("cannot concretize an anonymous spec")
             roots.append(spec.name)
             roots.extend(spec.dependencies)
-        real_roots = [name for name in roots if self.repo.exists(name) or self.repo.is_virtual(name)]
-        self._possible = self.repo.possible_dependencies(*real_roots)
+        real_roots = [name for name in roots if repo.exists(name) or repo.is_virtual(name)]
+        return repo.possible_dependencies(*real_roots)
+
+    def _determine_possible_packages(self, specs: Sequence[Spec]):
+        self._possible = self.possible_packages_for(self.repo, specs)
         self.stats.possible_packages = len(self._possible)
         root_names = {spec.name for spec in specs}
         self.stats.possible_dependencies = len(self._possible - root_names)
@@ -409,6 +517,9 @@ class ProblemEncoder:
         for package, constraints in sorted(self._version_constraints.items()):
             known = self._known_versions(package)
             for constraint in sorted(constraints):
+                if (package, constraint) in self._emitted_version_pairs:
+                    continue
+                self._emitted_version_pairs.add((package, constraint))
                 constraint_list = parse_version_constraint(constraint)
                 for version_string in known:
                     if constraint_list.includes(Version(version_string)):
@@ -418,6 +529,9 @@ class ProblemEncoder:
         for compiler_name, constraints in sorted(self._compiler_constraints.items()):
             versions = [c.version for c in self.compilers.by_name(compiler_name)]
             for constraint in sorted(constraints):
+                if (compiler_name, constraint) in self._emitted_compiler_pairs:
+                    continue
+                self._emitted_compiler_pairs.add((compiler_name, constraint))
                 constraint_list = parse_version_constraint(constraint)
                 for version in versions:
                     if constraint_list.includes(version):

@@ -1,0 +1,465 @@
+"""Batch concretization with shared grounding and solve caching.
+
+The paper frames concretization as one ASP solve per root spec, but its
+evaluation (the Figure 6 reuse study, the Figure 7e–7g build-cache sweeps)
+really solves *many related* specs — and most of the grounded program is
+identical across those solves: everything derived from the package
+repository, the compiler registry, the platform, and the installed-package
+store.  A :class:`ConcretizationSession` exploits that:
+
+* the fact layer is split into a **spec-independent base**
+  (:meth:`~repro.spack.concretize.encoder.ProblemEncoder.encode_base`) and a
+  **spec-dependent delta**
+  (:meth:`~repro.spack.concretize.encoder.ProblemEncoder.encode_delta`);
+* the base is parsed and grounded exactly once per content hash (a digest of
+  repository + compiler registry + platform + solver/criteria preset) via
+  :class:`repro.asp.control.PreparedProgram`, and memoized process-wide so
+  later sessions over the same inputs skip straight to forking;
+* every solve forks the base grounding and grounds only its delta facts
+  (semi-naive incremental grounding, see
+  :meth:`repro.asp.grounder.Grounder.ground_delta`);
+* results are memoized in a :class:`repro.spack.store.SolveCache`, so
+  repeated specs — the dominant case in build-cache population runs — skip
+  encode/ground/solve entirely and replay the extracted DAG.
+
+Mutating the repository (a new package version), swapping compiler
+registries, or switching presets changes the content hash, which transparently
+bypasses every stale cache layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.asp.configs import SolverConfig
+from repro.asp.control import PreparedProgram
+from repro.asp.stats import Timer
+from repro.spack.architecture import Platform, default_platform
+from repro.spack.compilers import CompilerRegistry
+from repro.spack.concretize.concretizer import (
+    ConcretizationResult,
+    result_from_solve,
+)
+from repro.spack.concretize.criteria import (
+    BUILD_PRIORITY_OFFSET,
+    CRITERIA,
+    NUMBER_OF_BUILDS_LEVEL,
+)
+from repro.spack.concretize.encoder import ProblemEncoder
+from repro.spack.concretize.logic import logic_program
+from repro.spack.repo import Repository, builtin_repository
+from repro.spack.spec import Spec
+from repro.spack.spec_parser import parse_spec
+from repro.spack.store import SolveCache
+
+
+# ---------------------------------------------------------------------------
+# Content hashing
+# ---------------------------------------------------------------------------
+
+
+def _describe_package(cls) -> Tuple:
+    """A stable, hashable description of one package class."""
+    versions = tuple(
+        (str(version), decl.deprecated, decl.preferred)
+        for version, decl in sorted(cls.versions.items(), key=lambda kv: str(kv[0]))
+    )
+    variants = tuple(
+        (name, str(decl.default), tuple(decl.values), decl.multi, str(decl.when))
+        for name, decl in sorted(cls.variants.items())
+    )
+    dependencies = tuple(
+        sorted((str(dep.spec), str(dep.when)) for dep in cls.dependencies)
+    )
+    conflicts = tuple(
+        sorted((str(c.spec), str(c.when)) for c in cls.conflict_decls)
+    )
+    provided = tuple(
+        sorted((str(p.virtual), str(p.when)) for p in cls.provided)
+    )
+    return (cls.name, versions, variants, dependencies, conflicts, provided)
+
+
+def _describe_repository(repo: Repository) -> Tuple:
+    packages = tuple(
+        _describe_package(repo.get(name)) for name in sorted(repo.all_package_names())
+    )
+    preferences = tuple(
+        (virtual, tuple(sorted(repo.provider_weights(virtual).items())))
+        for virtual in sorted(repo.virtuals())
+    )
+    return (packages, preferences)
+
+
+def _describe_compilers(compilers: CompilerRegistry) -> Tuple:
+    return tuple(
+        sorted((compiler.name, str(compiler.version)) for compiler in compilers)
+    )
+
+
+def _describe_platform(platform: Platform) -> Tuple:
+    return (
+        platform.name,
+        platform.family,
+        platform.default_target,
+        platform.default_os,
+        tuple(platform.operating_systems),
+    )
+
+
+def _describe_criteria() -> Tuple:
+    return (
+        BUILD_PRIORITY_OFFSET,
+        NUMBER_OF_BUILDS_LEVEL,
+        tuple((c.number, c.name, c.scope) for c in CRITERIA),
+    )
+
+
+def compute_content_hash(
+    repo: Repository,
+    platform: Platform,
+    compilers: CompilerRegistry,
+    config: SolverConfig,
+    reuse: bool = False,
+) -> str:
+    """Digest of everything the shared (spec-independent) program depends on.
+
+    Two sessions with equal content hashes may share grounded programs and
+    solve-cache entries; any difference — a new package version, another
+    compiler, a different solver/criteria preset — changes the hash and
+    bypasses every cached artifact derived from the old inputs.  (Installed
+    stores are hashed separately, per solve, since they mutate mid-session.)
+    """
+    description = (
+        _describe_repository(repo),
+        _describe_platform(platform),
+        _describe_compilers(compilers),
+        repr(config),
+        _describe_criteria(),
+        logic_program(),
+        bool(reuse),
+    )
+    digest = hashlib.sha256(repr(description).encode("utf-8"))
+    return digest.hexdigest()[:32]
+
+
+def _canonical_spec(spec: Spec) -> str:
+    """A canonical rendering of an abstract spec for cache keys (stable under
+    variant/dependency declaration order)."""
+    parts = [spec.name or ""]
+    if not spec.versions.is_any:
+        parts.append(f"@{spec.versions}")
+    for variant in sorted(spec.variants):
+        value = spec.variants[variant]
+        if isinstance(value, tuple):
+            value = ",".join(str(v) for v in sorted(value))
+        parts.append(f" {variant}={value}")
+    if spec.compiler:
+        parts.append(f" %{spec.compiler}")
+        if not spec.compiler_versions.is_any:
+            parts.append(f"@{spec.compiler_versions}")
+    if spec.os:
+        parts.append(f" os={spec.os}")
+    if spec.target:
+        parts.append(f" target={spec.target}")
+    for dep_name in sorted(spec.dependencies):
+        parts.append(f" ^{_canonical_spec(spec.dependencies[dep_name])}")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Shared grounded bases
+# ---------------------------------------------------------------------------
+
+
+class _GroundedBase:
+    """One spec-independent fact layer, encoded and grounded once.
+
+    Holds the base :class:`ProblemEncoder` (forked per solve to continue its
+    condition-id sequence) and the :class:`PreparedProgram` whose grounding is
+    forked per solve.
+    """
+
+    def __init__(self, session: "ConcretizationSession", abstract: Sequence[Spec]):
+        self.encoder = ProblemEncoder(
+            session.repo,
+            platform=session.platform,
+            compilers=session.compilers,
+            store=session.store,
+            reuse=session.reuse,
+        )
+        base_facts = self.encoder.encode_base(abstract)
+        # Ground the base as if any possible package could be a root: the
+        # `root(P)` possibility seeds let every node/version/variant rule
+        # instantiate once, up front, so per-spec deltas only ground the
+        # input conditions themselves.  Hinted-but-unsupported atoms are
+        # forced false by completion, so solves stay exact.
+        hints = [("root", name) for name in sorted(self.encoder.possible_packages)]
+        self.prepared = PreparedProgram(
+            logic_program(), base_facts, config=session.config, possible_hints=hints
+        )
+
+    def statistics(self) -> Dict[str, object]:
+        return self.prepared.statistics()
+
+
+#: Process-wide memo of grounded bases, keyed by
+#: (content hash, frozenset of possible packages).
+_SHARED_BASES: "OrderedDict[Tuple, _GroundedBase]" = OrderedDict()
+_SHARED_BASES_LIMIT = 8
+
+
+def clear_shared_bases() -> None:
+    """Drop all memoized grounded bases (mainly for tests and benchmarks)."""
+    _SHARED_BASES.clear()
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SessionStatistics:
+    """Counters proving (or disproving) that work was shared."""
+
+    #: how many spec-independent layers this session encoded+grounded itself
+    base_groundings: int = 0
+    #: how many times a memoized grounded base was reused instead
+    base_cache_hits: int = 0
+    #: solves that forked the base and ground only their delta facts
+    delta_groundings: int = 0
+    #: solves answered straight from the solve cache (no grounding at all)
+    solve_cache_hits: int = 0
+    solve_cache_misses: int = 0
+    #: total specs concretized through this session
+    specs_solved: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "base_groundings": self.base_groundings,
+            "base_cache_hits": self.base_cache_hits,
+            "delta_groundings": self.delta_groundings,
+            "solve_cache_hits": self.solve_cache_hits,
+            "solve_cache_misses": self.solve_cache_misses,
+            "specs_solved": self.specs_solved,
+        }
+
+
+class ConcretizationSession:
+    """Concretize many root specs while sharing everything shareable.
+
+    Drop-in relationship to :class:`~repro.spack.concretize.Concretizer`:
+    ``session.solve(specs)`` returns one :class:`ConcretizationResult` per
+    input spec, element-wise identical to running a fresh concretizer per
+    spec — just without re-lexing, re-grounding, and re-solving the shared
+    portion of the problem every time.
+
+    Parameters mirror :class:`Concretizer`, plus:
+
+    * ``solve_cache`` — a :class:`repro.spack.store.SolveCache` to share
+      across sessions (defaults to a private one);
+    * ``share_ground_cache`` — set False to opt out of the process-wide
+      grounded-base memo (each session then grounds its own base once).
+    """
+
+    def __init__(
+        self,
+        repo: Optional[Repository] = None,
+        platform: Optional[Platform] = None,
+        compilers: Optional[CompilerRegistry] = None,
+        store=None,
+        reuse: bool = False,
+        config: Optional[SolverConfig] = None,
+        solve_cache: Optional[SolveCache] = None,
+        share_ground_cache: bool = True,
+    ):
+        self.repo = repo or builtin_repository()
+        self.platform = platform or default_platform()
+        self.compilers = compilers or CompilerRegistry()
+        self.store = store
+        self.reuse = reuse
+        self.config = config or SolverConfig.preset("tweety")
+        self.solve_cache = solve_cache if solve_cache is not None else SolveCache()
+        self.share_ground_cache = share_ground_cache
+        self.stats = SessionStatistics()
+        self._content_hash: Optional[str] = None
+        self._last_base: Optional[_GroundedBase] = None
+        self._local_bases: "OrderedDict[Tuple, _GroundedBase]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def content_hash(self) -> str:
+        """Digest of (repository, platform, compilers, solver/criteria preset).
+
+        Computed once per session — mutate those inputs through a *new*
+        session.  The installed-package store is deliberately *not* part of
+        this hash: it may legitimately grow mid-session (install, then
+        re-solve), so its state is tracked per solve via
+        :meth:`Database.content_hash` instead.
+        """
+        if self._content_hash is None:
+            self._content_hash = compute_content_hash(
+                self.repo,
+                self.platform,
+                self.compilers,
+                self.config,
+                self.reuse,
+            )
+        return self._content_hash
+
+    def _store_token(self) -> Optional[str]:
+        if self.reuse and self.store is not None:
+            return self.store.content_hash()
+        return None
+
+    def statistics(self) -> Dict[str, object]:
+        """Session counters plus the active base's grounder statistics."""
+        result: Dict[str, object] = dict(self.stats.as_dict())
+        result["solve_cache"] = self.solve_cache.statistics()
+        if self._last_base is not None:
+            result["base"] = self._last_base.statistics()
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _as_specs(self, specs: Sequence[Union[str, Spec]]) -> List[Spec]:
+        parsed: List[Spec] = []
+        for spec in specs:
+            parsed.append(parse_spec(spec) if isinstance(spec, str) else spec.copy())
+        return parsed
+
+    def _possible_packages(self, abstract: Sequence[Spec]) -> frozenset:
+        # the exact computation the encoder itself performs, so base-cache
+        # keys can never diverge from what was actually encoded
+        return frozenset(ProblemEncoder.possible_packages_for(self.repo, abstract))
+
+    def _base_for(self, abstract: Sequence[Spec]) -> _GroundedBase:
+        """The grounded base for one spec's reachable package set.
+
+        Specs over the same possible-package family (the overwhelmingly
+        common case in batch/build-cache runs: variants, versions, compilers
+        of the same roots) share one base; each solve then runs on a program
+        exactly as large as a standalone concretizer's, so sharing never
+        slows the search down.
+        """
+        key = (self.content_hash(), self._store_token(), self._possible_packages(abstract))
+        base = self._local_bases.get(key)
+        if base is not None:
+            self._local_bases.move_to_end(key)
+            self.stats.base_cache_hits += 1
+            self._last_base = base
+            return base
+        if self.share_ground_cache:
+            base = _SHARED_BASES.get(key)
+            if base is not None:
+                _SHARED_BASES.move_to_end(key)
+                self.stats.base_cache_hits += 1
+        if base is None:
+            base = _GroundedBase(self, abstract)
+            self.stats.base_groundings += 1
+            if self.share_ground_cache:
+                _SHARED_BASES[key] = base
+                while len(_SHARED_BASES) > _SHARED_BASES_LIMIT:
+                    _SHARED_BASES.popitem(last=False)
+        self._local_bases[key] = base
+        while len(self._local_bases) > _SHARED_BASES_LIMIT:
+            self._local_bases.popitem(last=False)
+        self._last_base = base
+        return base
+
+    def _solve_key(self, spec: Spec) -> Tuple:
+        return (self.content_hash(), self._store_token(), _canonical_spec(spec))
+
+    # ------------------------------------------------------------------
+
+    def solve(self, specs: Sequence[Union[str, Spec]]) -> List[ConcretizationResult]:
+        """Concretize every spec (one independent solve each), sharing the
+        grounded base across the batch and replaying cached solves."""
+        abstract = self._as_specs(specs)
+        return [self._solve_one(spec) for spec in abstract]
+
+    def concretize(self, spec: Union[str, Spec]) -> ConcretizationResult:
+        """Concretize a single abstract spec through the session caches."""
+        return self.solve([spec])[0]
+
+    # ------------------------------------------------------------------
+
+    def _solve_one(self, spec: Spec) -> ConcretizationResult:
+        self.stats.specs_solved += 1
+        key = self._solve_key(spec)
+        cached = self.solve_cache.get(key)
+        if cached is not None:
+            # cache first, base lazily: a fully-cached batch never encodes
+            # or grounds anything at all
+            self.stats.solve_cache_hits += 1
+            return self._replay(cached)
+        self.stats.solve_cache_misses += 1
+
+        base = self._base_for([spec])
+        encoder = base.encoder.fork()
+        with Timer() as setup_timer:
+            delta_facts = encoder.encode_delta([spec])
+        control = base.prepared.fork(delta_facts, config=self.config)
+        control.timer.add("setup", setup_timer.elapsed)
+        self.stats.delta_groundings += 1
+
+        result = control.solve()
+        statistics: Dict[str, object] = {
+            "encoding": encoder.stats.as_dict(),
+            **result.statistics,
+            "session": {
+                "solve_cache": "miss",
+                "shared_base": True,
+                **base.statistics(),
+            },
+        }
+        concretization = result_from_solve([spec], result, statistics)
+        # cache a pristine copy: callers may freely mutate the returned DAG
+        self.solve_cache.put(key, self._copy_result(concretization))
+        return concretization
+
+    @staticmethod
+    def _copy_specs(result: ConcretizationResult) -> Tuple[List[Spec], Dict[str, Spec]]:
+        specs: Dict[str, Spec] = {}
+        roots: List[Spec] = []
+        for root in result.roots:
+            copy = root.copy()
+            roots.append(copy)
+            for node in copy.traverse():
+                specs[node.name] = node
+        for name, spec in result.specs.items():
+            if name not in specs:
+                specs[name] = spec.copy()
+        return roots, specs
+
+    def _copy_result(
+        self,
+        result: ConcretizationResult,
+        statistics: Optional[Dict[str, object]] = None,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> ConcretizationResult:
+        roots, specs = self._copy_specs(result)
+        return ConcretizationResult(
+            roots=roots,
+            specs=specs,
+            costs=dict(result.costs),
+            timings=dict(result.timings) if timings is None else timings,
+            statistics=dict(result.statistics) if statistics is None else statistics,
+            built=set(result.built),
+            reused=set(result.reused),
+            model=result.model,
+        )
+
+    def _replay(self, cached: ConcretizationResult) -> ConcretizationResult:
+        """An independent copy of a cached result (callers may mutate specs)."""
+        statistics: Dict[str, object] = dict(cached.statistics)
+        statistics["session"] = {
+            **(cached.statistics.get("session") or {}),
+            "solve_cache": "hit",
+        }
+        timings = {"setup": 0.0, "load": 0.0, "ground": 0.0, "solve": 0.0, "total": 0.0}
+        return self._copy_result(cached, statistics=statistics, timings=timings)

@@ -8,8 +8,10 @@ the Figure 7e–7g experiments grow to tens of thousands of entries.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Dict, Iterable, List, Optional, Union
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
 from repro.spack.errors import SpackError
 from repro.spack.spec import Spec
@@ -21,6 +23,8 @@ class Database:
 
     def __init__(self, specs: Iterable[Spec] = ()):
         self._by_hash: Dict[str, Spec] = {}
+        self._generation = 0
+        self._content_hash_cache: Optional[Tuple[int, str]] = None
         for spec in specs:
             self.add(spec)
 
@@ -33,6 +37,8 @@ class Database:
         if not spec.concrete:
             raise SpackError(f"only concrete specs can be installed: {spec}")
         digest = spec.dag_hash()
+        if digest not in self._by_hash:
+            self._generation += 1
         self._by_hash[digest] = spec
         return digest
 
@@ -44,11 +50,36 @@ class Database:
         return digests
 
     def remove(self, digest: str):
-        self._by_hash.pop(digest, None)
+        if self._by_hash.pop(digest, None) is not None:
+            self._generation += 1
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on every effective add/remove (cheap
+        in-process invalidation token for caches layered on this store)."""
+        return self._generation
+
+    def content_hash(self) -> str:
+        """A digest of the installed set, stable across processes.
+
+        Two databases holding the same concrete specs hash identically, so
+        solve caches keyed on it survive serialization round-trips.  The
+        digest is memoized against :attr:`generation`, so callers may hash
+        on every solve for free.
+        """
+        cached = self._content_hash_cache
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        digest = hashlib.sha256()
+        for dag_hash in sorted(self._by_hash):
+            digest.update(dag_hash.encode("utf-8"))
+        value = digest.hexdigest()[:32]
+        self._content_hash_cache = (self._generation, value)
+        return value
 
     def __len__(self) -> int:
         return len(self._by_hash)
@@ -115,3 +146,59 @@ class Database:
 
     def __repr__(self):
         return f"<Database with {len(self)} installed specs>"
+
+
+class SolveCache:
+    """An LRU memo of concretization results.
+
+    Keys are built by the batch concretization session from the content hash
+    of (repository, compiler registry, platform, solver/criteria preset), the
+    store state, and the canonical root spec — so a hit is only possible when
+    the whole problem is identical and the cached result can be replayed
+    without touching the grounder or solver (the Figure 6 / Figure 7e–g
+    repeated-solve scenarios).
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable):
+        """The cached value for ``key`` (bumped to most-recent), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self):
+        return (
+            f"<SolveCache {len(self)} entries, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )
