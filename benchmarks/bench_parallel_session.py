@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Benchmark: parallel solve workers + persistent on-disk session caches.
+
+The ISSUE-2 acceptance scenario, in two acts over 16 overlapping root specs
+(one spec family, so the whole batch shares a single grounded base):
+
+1. **Scaling** — one sequential :class:`ConcretizationSession` (workers=1)
+   vs. the same session with ``workers=4`` fanning delta-ground + solve out
+   to forked processes.  Results must be element-wise identical; the *full*
+   run must additionally clear a speedup floor (2.0x with >= 4 cores,
+   relaxed on 2-3 cores, waived on a single core — there is nothing to
+   parallelize against).  ``--quick`` (the CI smoke) never asserts the
+   floor: shared runners are too noisy for wall-clock assertions.
+
+2. **Warm start** — a session pointed at a fresh ``cache_dir`` populates the
+   persistent solve/ground caches, then a *second process* replays the same
+   batch from disk.  The child's statistics are asserted: zero solve-cache
+   misses, zero delta groundings, zero base groundings — i.e. not a single
+   grounding or solver call.
+
+Run standalone (CI smoke uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_session.py --quick
+    PYTHONPATH=src python benchmarks/bench_parallel_session.py          # full
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+sys.path.insert(0, REPO_ROOT)
+
+from benchmarks.reporting import record  # noqa: E402
+from repro.spack.concretize import ConcretizationSession  # noqa: E402
+from repro.spack.concretize.session import (  # noqa: E402
+    clear_shared_bases,
+    default_worker_count,
+)
+from repro.spack.repo import Repository  # noqa: E402
+from tests.conftest import MICRO_PACKAGES  # noqa: E402
+
+#: 16 distinct, overlapping micro-repo specs from one spec family (versions x
+#: variants x dependency constraints of the paper's Figure 2 ``example``
+#: package): the shape of an E4S-style build-cache population batch.
+WORKLOAD = (
+    "example",
+    "example+bzip",
+    "example~bzip",
+    "example@1.0.0",
+    "example@1.1.0",
+    "example@1.0.0+bzip",
+    "example@1.0.0~bzip",
+    "example@1.1.0+bzip",
+    "example@1.1.0~bzip",
+    "example ^zlib+pic",
+    "example ^zlib~pic",
+    "example+bzip ^zlib+pic",
+    "example~bzip ^zlib~pic",
+    "example+bzip ^bzip2+shared",
+    "example+bzip ^bzip2~shared",
+    "example@1.0.0 ^zlib~pic",
+)
+
+WORKERS = 4
+
+
+def micro_repo() -> Repository:
+    repo = Repository(name="micro", packages=MICRO_PACKAGES)
+    repo.set_provider_preference("mpi", ["mpich", "openmpi"])
+    repo.set_provider_preference("blas", ["miniblas", "reflapack"])
+    repo.set_provider_preference("lapack", ["miniblas", "reflapack"])
+    return repo
+
+
+def signature(result):
+    return (
+        str(result.spec),
+        sorted(str(s) for s in result.specs.values()),
+        # sorted, so the rendering is stable across processes (dict insertion
+        # order differs after a JSON round trip)
+        tuple(sorted((level, cost) for level, cost in result.costs.items() if cost)),
+        sorted(result.built),
+        sorted(result.reused),
+    )
+
+
+def speedup_floor(quick: bool):
+    """The asserted floor for the parallel speedup, given available cores.
+
+    ``--quick`` (the CI smoke mode) never asserts a floor: shared CI runners
+    have noisy neighbors, and a wall-clock assertion there would flake with
+    no code defect.  Quick mode still asserts identity, worker counts, and
+    the zero-solver-call warm start; the floor is enforced by the full run.
+    """
+    if quick:
+        return None
+    cores = default_worker_count()
+    if cores >= WORKERS:
+        return 2.0
+    if cores >= 2:
+        return 1.3
+    return None  # single core: parallelism cannot help, only identity checked
+
+
+# ---------------------------------------------------------------------------
+# Act 1: scaling
+# ---------------------------------------------------------------------------
+
+
+def run_scaling_round(repo):
+    clear_shared_bases()
+    sequential = ConcretizationSession(repo=repo, share_ground_cache=False)
+    start = time.perf_counter()
+    sequential_results = sequential.solve(list(WORKLOAD))
+    sequential_time = time.perf_counter() - start
+
+    clear_shared_bases()
+    parallel = ConcretizationSession(
+        repo=repo, share_ground_cache=False, workers=WORKERS
+    )
+    start = time.perf_counter()
+    parallel_results = parallel.solve(list(WORKLOAD))
+    parallel_time = time.perf_counter() - start
+
+    for spec, a, b in zip(WORKLOAD, parallel_results, sequential_results):
+        assert signature(a) == signature(b), f"results diverge for {spec!r}"
+
+    return sequential_time, parallel_time, parallel
+
+
+# ---------------------------------------------------------------------------
+# Act 2: warm start from disk, in a second process
+# ---------------------------------------------------------------------------
+
+
+def run_replay_child(cache_dir: str) -> int:
+    """Executed in the *second* process: replay the batch from disk."""
+    repo = micro_repo()
+    session = ConcretizationSession(
+        repo=repo, share_ground_cache=False, cache_dir=cache_dir
+    )
+    start = time.perf_counter()
+    results = session.solve(list(WORKLOAD))
+    elapsed = time.perf_counter() - start
+    print(
+        json.dumps(
+            {
+                "elapsed": elapsed,
+                "signatures": [repr(signature(r)) for r in results],
+                "stats": session.stats.as_dict(),
+                "solve_cache": session.solve_cache.statistics(),
+            }
+        )
+    )
+    return 0
+
+
+def run_warm_start(repo, cache_dir):
+    clear_shared_bases()
+    cold = ConcretizationSession(
+        repo=repo, share_ground_cache=False, cache_dir=cache_dir
+    )
+    start = time.perf_counter()
+    cold_results = cold.solve(list(WORKLOAD))
+    cold_time = time.perf_counter() - start
+
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(REPO_ROOT, "src"))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    child = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--replay-child", cache_dir],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    if child.returncode != 0:
+        raise RuntimeError(
+            f"replay child failed ({child.returncode}):\n{child.stderr}"
+        )
+    payload = json.loads(child.stdout.strip().splitlines()[-1])
+    expected = [repr(signature(r)) for r in cold_results]
+    assert payload["signatures"] == expected, "warm replay diverged from cold solve"
+    return cold_time, payload
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single round with a relaxed speedup floor (CI smoke test)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="measurement rounds (best-of); default 3, or 1 with --quick",
+    )
+    parser.add_argument(
+        "--replay-child", metavar="CACHE_DIR", default=None,
+        help=argparse.SUPPRESS,  # internal: warm-start second process
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay_child:
+        return run_replay_child(args.replay_child)
+
+    repo = micro_repo()
+    rounds = args.rounds or (1 if args.quick else 3)
+    floor = speedup_floor(args.quick)
+    cores = default_worker_count()
+
+    best = None
+    for _ in range(rounds):
+        sequential_time, parallel_time, parallel = run_scaling_round(repo)
+        speedup = sequential_time / parallel_time
+        if best is None or speedup > best[0]:
+            best = (speedup, sequential_time, parallel_time, parallel)
+    speedup, sequential_time, parallel_time, parallel = best
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        cold_time, replay = run_warm_start(repo, cache_dir)
+
+    stats = parallel.stats
+    child_stats = replay["stats"]
+    record(
+        "parallel_session",
+        f"Parallel session ({WORKERS} workers, {cores} cores) + warm disk replay "
+        f"over {len(WORKLOAD)} overlapping specs",
+        ["metric", "value"],
+        [
+            ("sequential session [s]", f"{sequential_time:.3f}"),
+            (f"parallel session x{WORKERS} [s]", f"{parallel_time:.3f}"),
+            ("speedup", f"{speedup:.2f}x"),
+            ("parallel solves", stats.parallel_solves),
+            ("base groundings (parent)", stats.base_groundings),
+            ("cold solve w/ cache dir [s]", f"{cold_time:.3f}"),
+            ("warm replay, 2nd process [s]", f"{replay['elapsed']:.3f}"),
+            ("warm solve-cache misses", child_stats["solve_cache_misses"]),
+            ("warm delta groundings", child_stats["delta_groundings"]),
+            ("warm base groundings", child_stats["base_groundings"]),
+            ("warm disk hits", replay["solve_cache"]["disk_hits"]),
+        ],
+    )
+
+    failures = []
+    if stats.base_groundings != 1:
+        failures.append(
+            f"expected one shared base grounding in the parent, got "
+            f"{stats.base_groundings}"
+        )
+    if stats.parallel_solves != len(WORKLOAD):
+        failures.append(
+            f"expected {len(WORKLOAD)} worker solves, got {stats.parallel_solves}"
+        )
+    if floor is None:
+        reason = (
+            "quick/CI mode" if args.quick else f"only {cores} core(s) visible"
+        )
+        print(
+            f"NOTE: {reason}; speedup floor not asserted "
+            f"(identity and warm start still are)"
+        )
+    elif speedup < floor:
+        failures.append(f"speedup {speedup:.2f}x below the {floor:.1f}x floor")
+    if child_stats["solve_cache_misses"] != 0:
+        failures.append(
+            f"warm replay missed the cache {child_stats['solve_cache_misses']} times"
+        )
+    if child_stats["delta_groundings"] != 0 or child_stats["base_groundings"] != 0:
+        failures.append("warm replay touched the grounder/solver")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"\nOK: {speedup:.2f}x with {WORKERS} workers; second process "
+            f"replayed {len(WORKLOAD)} specs from disk with zero solver calls"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Parallel solve workers + a persistent on-disk cache, step by step.
+
+This mirrors :mod:`examples.batch_session`, scaled up along the two axes
+ISSUE 2 added (see ``docs/ARCHITECTURE.md`` and ``docs/CACHING.md``):
+
+1. a **parallel session** (``workers=N``) grounds the shared
+   spec-independent base once, then fans each spec's delta-ground + solve
+   out to a pool of forked workers — results come back in input order,
+   element-wise identical to a sequential session;
+2. a **persistent cache** (``cache_dir=...``) writes every solved result
+   (and the grounded base) to disk, so a *second session* — even in a new
+   process, hours later — replays the whole batch without a single
+   grounding or solver call.
+
+Run with::
+
+    PYTHONPATH=src python examples/parallel_session.py
+"""
+
+import tempfile
+
+from repro.spack.concretize import ConcretizationSession
+
+#: Overlapping requests, the build-cache-population shape: same roots, many
+#: versions/variants, one exact repeat.  All of them share one grounded base.
+REQUESTS = [
+    "zlib",
+    "zlib+pic",
+    "zlib~pic",
+    "zlib@1.2.11",
+    "bzip2",
+    "bzip2~shared",
+    "zlib+pic",  # exact repeat: answered from the solve cache, never a worker
+]
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+        # ------------------------------------------------------------------
+        # Act 1: a parallel session. workers=2 solves cache-missing specs on
+        # two forked processes; the shared base is grounded once, up front,
+        # in the parent, so workers inherit it and only delta-ground.
+        # ------------------------------------------------------------------
+        session = ConcretizationSession(workers=2, cache_dir=cache_dir)
+        print(f"content hash: {session.content_hash()}")
+        print(f"cache dir:    {cache_dir}\n")
+
+        results = session.solve(REQUESTS)
+        for request, result in zip(REQUESTS, results):
+            cache = result.statistics["session"]["solve_cache"]
+            print(f"{request!r}  [solve cache: {cache}]")
+            for line in result.spec.tree().splitlines():
+                print(f"    {line}")
+
+        print("\nparallel session statistics:")
+        for key, value in session.stats.as_dict().items():
+            print(f"    {key:20s} {value}")
+
+        # ------------------------------------------------------------------
+        # Act 2: a warm start. A brand-new session over the same cache_dir
+        # (imagine a new process on the next CI run) replays every result
+        # from disk: zero base groundings, zero delta groundings, zero
+        # solver calls.
+        # ------------------------------------------------------------------
+        warm = ConcretizationSession(cache_dir=cache_dir)
+        warm_results = warm.solve(REQUESTS)
+        assert [str(r.spec) for r in warm_results] == [str(r.spec) for r in results]
+
+        print("\nwarm session statistics (second session, same cache dir):")
+        for key, value in warm.stats.as_dict().items():
+            print(f"    {key:20s} {value}")
+        print("\nwarm solve cache:", warm.solve_cache.statistics())
+        assert warm.stats.solve_cache_misses == 0, "warm start should never miss"
+        assert warm.stats.delta_groundings == 0, "warm start should never ground"
+
+
+if __name__ == "__main__":
+    main()

@@ -235,6 +235,17 @@ class PreparedProgram:
     The delta facts handed to :meth:`fork` must obey the layering contract
     documented on :class:`~repro.asp.grounder.Grounder` (fresh condition
     ids/keys only).
+
+    **Fork- and pickle-safety.**  Once ``__init__`` returns, a prepared
+    program is only ever *read*: :meth:`fork` clones the ground state and
+    mutates the clone, never the base (the ``forks`` counter is the sole,
+    benign exception).  Nothing here holds locks, file handles, threads, or
+    other process-local resources — just parsed syntax trees and interned
+    ground atoms.  Parallel concretization sessions rely on both
+    consequences: ``os.fork()``-based worker pools inherit prepared programs
+    through copy-on-write memory and fork them concurrently, and the
+    persistent ground cache (:class:`repro.spack.store.PersistentGroundCache`)
+    pickles them to disk for later processes.
     """
 
     def __init__(

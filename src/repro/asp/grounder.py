@@ -257,7 +257,13 @@ class Grounder:
         """Fork the complete grounding state (program objects are shared).
 
         The clone can be extended with :meth:`ground_delta` without touching
-        this grounder, so one base grounding can serve many solves.
+        this grounder, so one base grounding can serve many solves.  Cloning
+        never mutates ``self`` — only plain data structures are copied and
+        the immutable program/ASTs are shared — so concurrent clones of one
+        base grounder are safe from threads and from ``os.fork()``-ed worker
+        processes alike (the parallel session's workers do exactly that),
+        and a fully grounded ``Grounder`` is picklable for the on-disk
+        ground cache.
         """
         other = Grounder.__new__(Grounder)
         other.program = self.program

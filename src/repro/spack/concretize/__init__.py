@@ -11,7 +11,12 @@ original greedy baseline.
   usability comparisons of Section VI-B.
 * :class:`repro.spack.concretize.session.ConcretizationSession` — batch
   concretization: many root specs against one shared, incrementally layered
-  grounding, with content-hash-keyed ground and solve caches.
+  grounding, with content-hash-keyed ground and solve caches.  With
+  ``workers=N`` (or via
+  :class:`repro.spack.concretize.session.ParallelConcretizationSession`) the
+  per-spec solves fan out to a worker pool over the shared base, and with
+  ``cache_dir=...`` the ground/solve caches persist on disk across
+  processes (see ``docs/ARCHITECTURE.md`` and ``docs/CACHING.md``).
 """
 
 from repro.spack.concretize.concretizer import ConcretizationResult, Concretizer
@@ -19,8 +24,10 @@ from repro.spack.concretize.criteria import CRITERIA, Criterion, describe_costs
 from repro.spack.concretize.original import OriginalConcretizer
 from repro.spack.concretize.session import (
     ConcretizationSession,
+    ParallelConcretizationSession,
     SessionStatistics,
     compute_content_hash,
+    default_worker_count,
 )
 
 __all__ = [
@@ -30,7 +37,9 @@ __all__ = [
     "Concretizer",
     "Criterion",
     "OriginalConcretizer",
+    "ParallelConcretizationSession",
     "SessionStatistics",
     "compute_content_hash",
+    "default_worker_count",
     "describe_costs",
 ]

@@ -63,6 +63,61 @@ class ConcretizationResult:
             lines.append(root.tree())
         return "\n".join(lines)
 
+    # ------------------------------------------------------------------
+    # Serialization (persistent solve caches, see repro.spack.store)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable description of this result.
+
+        Everything needed to *replay* the result survives the round trip:
+        the concrete root DAGs, auxiliary specs, optimization costs, the
+        built/reused partition, timings, and statistics.  The raw solver
+        :class:`~repro.asp.control.Model` does not — it is an in-memory
+        artifact of the solve and is restored as ``None``.
+        """
+        reachable = set()
+        for root in self.roots:
+            for node in root.traverse():
+                reachable.add(node.name)
+        return {
+            "roots": [root.to_dict() for root in self.roots],
+            "extra_specs": {
+                name: spec.to_dict()
+                for name, spec in sorted(self.specs.items())
+                if name not in reachable
+            },
+            "costs": {str(level): cost for level, cost in self.costs.items()},
+            "timings": dict(self.timings),
+            "statistics": self.statistics,
+            "built": sorted(self.built),
+            "reused": sorted(self.reused),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ConcretizationResult":
+        """Rebuild a result produced by :meth:`to_dict` (``model`` is None)."""
+        roots: List[Spec] = []
+        specs: Dict[str, Spec] = {}
+        for payload in data["roots"]:
+            root = Spec.from_dict(payload)
+            roots.append(root)
+            for node in root.traverse():
+                specs[node.name] = node
+        for name, payload in data.get("extra_specs", {}).items():
+            if name not in specs:
+                specs[name] = Spec.from_dict(payload)
+        return cls(
+            roots=roots,
+            specs=specs,
+            costs={int(level): cost for level, cost in data.get("costs", {}).items()},
+            timings=dict(data.get("timings", {})),
+            statistics=dict(data.get("statistics", {})),
+            built=set(data.get("built", ())),
+            reused=set(data.get("reused", ())),
+            model=None,
+        )
+
 
 def result_from_solve(
     abstract: Sequence[Spec],

@@ -25,12 +25,38 @@ store.  A :class:`ConcretizationSession` exploits that:
 Mutating the repository (a new package version), swapping compiler
 registries, or switching presets changes the content hash, which transparently
 bypasses every stale cache layer.
+
+Two orthogonal extensions scale sessions beyond one process (see
+``docs/ARCHITECTURE.md`` for the full data-flow picture and
+``docs/CACHING.md`` for the on-disk contracts):
+
+* **parallel solving** — ``ConcretizationSession(workers=N)`` (or the
+  :class:`ParallelConcretizationSession` convenience wrapper) grounds the
+  shared base once in the parent, then fans the independent per-spec
+  delta-ground + solve work out to a pool of workers behind one executor
+  abstraction.  The default backend forks processes, so workers inherit the
+  read-only grounded base for free; a thread backend exists for platforms
+  without ``fork``.  Results keep the input order and are element-wise
+  identical to a sequential :meth:`ConcretizationSession.solve`;
+
+* **persistence** — ``ConcretizationSession(cache_dir=...)`` swaps the
+  private in-memory :class:`~repro.spack.store.SolveCache` for a
+  :class:`~repro.spack.store.PersistentSolveCache` and adds a
+  :class:`~repro.spack.store.PersistentGroundCache` under ``_base_for``, so
+  a second process pointed at the same directory replays a warm batch with
+  zero grounding and zero solver calls.  Both layers are keyed by the same
+  content hashes as the in-memory caches, so repo/preset/store changes
+  invalidate disk entries exactly like memory ones.
 """
 
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
+import os
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -53,7 +79,11 @@ from repro.spack.concretize.logic import logic_program
 from repro.spack.repo import Repository, builtin_repository
 from repro.spack.spec import Spec
 from repro.spack.spec_parser import parse_spec
-from repro.spack.store import SolveCache
+from repro.spack.store import (
+    PersistentGroundCache,
+    PersistentSolveCache,
+    SolveCache,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -218,6 +248,39 @@ def clear_shared_bases() -> None:
 
 
 # ---------------------------------------------------------------------------
+# Worker pools (parallel solving)
+# ---------------------------------------------------------------------------
+
+#: State readable by pool workers, keyed by a per-batch token so concurrent
+#: ``solve()`` calls (two sessions, or one session driven from two user
+#: threads) can never clobber each other.  Process workers are forked *after*
+#: their batch's entry is registered, so they inherit it (plus the session's
+#: already grounded bases) through copy-on-write memory; thread workers read
+#: it directly.  Only :meth:`ConcretizationSession._run_workers` writes it.
+_WORKER_BATCHES: Dict[int, Tuple["ConcretizationSession", List[Spec]]] = {}
+_WORKER_BATCH_IDS = iter(range(1, 2**63))
+
+
+def _worker_solve(batch: int, index: int) -> "ConcretizationResult":
+    """Pool entry point: solve one spec of one registered batch.
+
+    Runs :meth:`ConcretizationSession._solve_uncached`, which only *reads*
+    the session (the grounded base is forked per solve, never mutated), so
+    the same function is safe on thread and on forked process workers.
+    """
+    session, specs = _WORKER_BATCHES[batch]
+    return session._solve_uncached(specs[index], worker=True)
+
+
+def default_worker_count() -> int:
+    """The scheduler-visible CPU count (what ``workers="auto"`` resolves to)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without CPU affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
 # The session
 # ---------------------------------------------------------------------------
 
@@ -230,6 +293,8 @@ class SessionStatistics:
     base_groundings: int = 0
     #: how many times a memoized grounded base was reused instead
     base_cache_hits: int = 0
+    #: how many grounded bases were loaded from the on-disk ground cache
+    base_disk_hits: int = 0
     #: solves that forked the base and ground only their delta facts
     delta_groundings: int = 0
     #: solves answered straight from the solve cache (no grounding at all)
@@ -237,15 +302,19 @@ class SessionStatistics:
     solve_cache_misses: int = 0
     #: total specs concretized through this session
     specs_solved: int = 0
+    #: solves executed on pool workers (0 in sequential sessions)
+    parallel_solves: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "base_groundings": self.base_groundings,
             "base_cache_hits": self.base_cache_hits,
+            "base_disk_hits": self.base_disk_hits,
             "delta_groundings": self.delta_groundings,
             "solve_cache_hits": self.solve_cache_hits,
             "solve_cache_misses": self.solve_cache_misses,
             "specs_solved": self.specs_solved,
+            "parallel_solves": self.parallel_solves,
         }
 
 
@@ -261,9 +330,24 @@ class ConcretizationSession:
     Parameters mirror :class:`Concretizer`, plus:
 
     * ``solve_cache`` — a :class:`repro.spack.store.SolveCache` to share
-      across sessions (defaults to a private one);
+      across sessions (defaults to a private one, or to a
+      :class:`repro.spack.store.PersistentSolveCache` when ``cache_dir`` is
+      given);
     * ``share_ground_cache`` — set False to opt out of the process-wide
-      grounded-base memo (each session then grounds its own base once).
+      grounded-base memo (each session then grounds its own base once);
+    * ``cache_dir`` — a directory for the persistent cache layers.  Solved
+      results are written through as versioned JSON and grounded bases as
+      versioned pickles, so later *processes* warm-start from disk.  Omit it
+      (the default) for purely in-memory operation; see ``docs/CACHING.md``;
+    * ``persist_ground`` — set False to keep the solve cache on disk but
+      skip persisting grounded bases (they are large);
+    * ``workers`` — number of solver workers for :meth:`solve`.  1 (the
+      default) solves sequentially; ``N > 1`` fans cache-missing specs out
+      to a pool after grounding the shared base; ``"auto"`` uses the
+      scheduler-visible CPU count (:func:`default_worker_count`);
+    * ``worker_backend`` — ``"process"`` (fork-based, true parallelism),
+      ``"thread"``, or ``"auto"`` (processes wherever ``fork`` exists).
+      Any pool failure degrades to in-process sequential solving.
     """
 
     def __init__(
@@ -276,6 +360,10 @@ class ConcretizationSession:
         config: Optional[SolverConfig] = None,
         solve_cache: Optional[SolveCache] = None,
         share_ground_cache: bool = True,
+        cache_dir: Optional[str] = None,
+        persist_ground: bool = True,
+        workers: Union[int, str] = 1,
+        worker_backend: str = "auto",
     ):
         self.repo = repo or builtin_repository()
         self.platform = platform or default_platform()
@@ -283,12 +371,36 @@ class ConcretizationSession:
         self.store = store
         self.reuse = reuse
         self.config = config or SolverConfig.preset("tweety")
-        self.solve_cache = solve_cache if solve_cache is not None else SolveCache()
+        self.cache_dir = cache_dir
+        if solve_cache is not None:
+            self.solve_cache = solve_cache
+        elif cache_dir is not None:
+            self.solve_cache = PersistentSolveCache(cache_dir)
+        else:
+            self.solve_cache = SolveCache()
+        self.ground_cache: Optional[PersistentGroundCache] = (
+            PersistentGroundCache(cache_dir)
+            if cache_dir is not None and persist_ground
+            else None
+        )
         self.share_ground_cache = share_ground_cache
+        self.workers = default_worker_count() if workers == "auto" else int(workers)
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if worker_backend not in ("auto", "process", "thread"):
+            raise ValueError(f"unknown worker backend: {worker_backend!r}")
+        self.worker_backend = worker_backend
         self.stats = SessionStatistics()
         self._content_hash: Optional[str] = None
         self._last_base: Optional[_GroundedBase] = None
         self._local_bases: "OrderedDict[Tuple, _GroundedBase]" = OrderedDict()
+        # per-in-flight-batch base-family counts: _fan_out registers each
+        # batch's demand so the local base memo cannot LRU-evict a
+        # pre-grounded base while any concurrent solve() still needs it
+        self._base_demands: Dict[int, int] = {}
+        # base keys known to have a valid disk ground-cache entry (avoids a
+        # probe per solve)
+        self._ground_persisted: set = set()
 
     # ------------------------------------------------------------------
 
@@ -346,7 +458,7 @@ class ConcretizationSession:
         exactly as large as a standalone concretizer's, so sharing never
         slows the search down.
         """
-        key = (self.content_hash(), self._store_token(), self._possible_packages(abstract))
+        key = self._base_key(abstract)
         base = self._local_bases.get(key)
         if base is not None:
             self._local_bases.move_to_end(key)
@@ -358,17 +470,57 @@ class ConcretizationSession:
             if base is not None:
                 _SHARED_BASES.move_to_end(key)
                 self.stats.base_cache_hits += 1
+        probed_disk = False
+        if base is None and self.ground_cache is not None:
+            probed_disk = True
+            loaded = self.ground_cache.get(key)
+            if isinstance(loaded, _GroundedBase):  # reject foreign payloads
+                base = loaded
+                self.stats.base_disk_hits += 1
+                self._ground_persisted.add(key)
         if base is None:
             base = _GroundedBase(self, abstract)
             self.stats.base_groundings += 1
-            if self.share_ground_cache:
-                _SHARED_BASES[key] = base
-                while len(_SHARED_BASES) > _SHARED_BASES_LIMIT:
-                    _SHARED_BASES.popitem(last=False)
+        if self.ground_cache is not None and key not in self._ground_persisted:
+            # Write through even when the base came from an in-memory memo
+            # (e.g. grounded by a cache_dir-less session): warm starts must
+            # find every base this session used on disk.  The probe is a
+            # *validated* load (not a bare existence check), so corrupted or
+            # version-skewed entries get overwritten — the cache self-heals.
+            if probed_disk or not isinstance(
+                self.ground_cache.get(key), _GroundedBase
+            ):
+                self.ground_cache.put(key, base)
+            self._ground_persisted.add(key)
+        if self.share_ground_cache:
+            _SHARED_BASES[key] = base
+            while len(_SHARED_BASES) > _SHARED_BASES_LIMIT:
+                _SHARED_BASES.popitem(last=False)
         self._local_bases[key] = base
-        while len(self._local_bases) > _SHARED_BASES_LIMIT:
+        limit = max(_SHARED_BASES_LIMIT, sum(self._base_demands.values()))
+        while len(self._local_bases) > limit:
             self._local_bases.popitem(last=False)
         self._last_base = base
+        return base
+
+    def _base_key(self, abstract: Sequence[Spec]) -> Tuple:
+        return (
+            self.content_hash(),
+            self._store_token(),
+            self._possible_packages(abstract),
+        )
+
+    def _peek_base(self, key: Tuple) -> Optional[_GroundedBase]:
+        """A memoized grounded base, without any cache bookkeeping.
+
+        Pool workers use this instead of :meth:`_base_for`: it neither
+        reorders the LRU dicts nor bumps statistics, so concurrent thread
+        workers cannot race on shared session state, and worker-side lookups
+        (whose stats would be discarded or double-counted) stay invisible.
+        """
+        base = self._local_bases.get(key)
+        if base is None and self.share_ground_cache:
+            base = _SHARED_BASES.get(key)
         return base
 
     def _solve_key(self, spec: Spec) -> Tuple:
@@ -378,8 +530,17 @@ class ConcretizationSession:
 
     def solve(self, specs: Sequence[Union[str, Spec]]) -> List[ConcretizationResult]:
         """Concretize every spec (one independent solve each), sharing the
-        grounded base across the batch and replaying cached solves."""
+        grounded base across the batch and replaying cached solves.
+
+        Results keep the input order: ``solve(specs)[i]`` always answers
+        ``specs[i]``.  With ``workers > 1`` the cache-missing portion of the
+        batch is solved on a worker pool (see :meth:`_solve_parallel`), which
+        is element-wise identical to — just faster than — the sequential
+        path.
+        """
         abstract = self._as_specs(specs)
+        if self.workers > 1 and len(abstract) > 1:
+            return self._solve_parallel(abstract)
         return [self._solve_one(spec) for spec in abstract]
 
     def concretize(self, spec: Union[str, Spec]) -> ConcretizationResult:
@@ -387,6 +548,40 @@ class ConcretizationSession:
         return self.solve([spec])[0]
 
     # ------------------------------------------------------------------
+
+    def _solve_uncached(self, spec: Spec, worker: bool = False) -> ConcretizationResult:
+        """One full solve, bypassing the solve cache (shared base + delta).
+
+        This is the unit of work a pool worker executes (``worker=True``):
+        the grounded base is looked up without any cache bookkeeping
+        (:meth:`_peek_base`) and then only forked, never mutated, so
+        concurrent calls are safe on threads and on forked processes alike —
+        and worker-side lookups never skew the parent's statistics.  Cache
+        lookups, cache writes, and statistics stay with the caller.
+        """
+        if worker:
+            base = self._peek_base(self._base_key([spec]))
+            if base is None:  # evicted between pre-grounding and fan-out
+                base = self._base_for([spec])
+        else:
+            base = self._base_for([spec])
+        encoder = base.encoder.fork()
+        with Timer() as setup_timer:
+            delta_facts = encoder.encode_delta([spec])
+        control = base.prepared.fork(delta_facts, config=self.config)
+        control.timer.add("setup", setup_timer.elapsed)
+
+        result = control.solve()
+        statistics: Dict[str, object] = {
+            "encoding": encoder.stats.as_dict(),
+            **result.statistics,
+            "session": {
+                "solve_cache": "miss",
+                "shared_base": True,
+                **base.statistics(),
+            },
+        }
+        return result_from_solve([spec], result, statistics)
 
     def _solve_one(self, spec: Spec) -> ConcretizationResult:
         self.stats.specs_solved += 1
@@ -399,28 +594,146 @@ class ConcretizationSession:
             return self._replay(cached)
         self.stats.solve_cache_misses += 1
 
-        base = self._base_for([spec])
-        encoder = base.encoder.fork()
-        with Timer() as setup_timer:
-            delta_facts = encoder.encode_delta([spec])
-        control = base.prepared.fork(delta_facts, config=self.config)
-        control.timer.add("setup", setup_timer.elapsed)
+        concretization = self._solve_uncached(spec)
         self.stats.delta_groundings += 1
-
-        result = control.solve()
-        statistics: Dict[str, object] = {
-            "encoding": encoder.stats.as_dict(),
-            **result.statistics,
-            "session": {
-                "solve_cache": "miss",
-                "shared_base": True,
-                **base.statistics(),
-            },
-        }
-        concretization = result_from_solve([spec], result, statistics)
         # cache a pristine copy: callers may freely mutate the returned DAG
         self.solve_cache.put(key, self._copy_result(concretization))
         return concretization
+
+    # ------------------------------------------------------------------
+    # Parallel fan-out
+    # ------------------------------------------------------------------
+
+    def _solve_parallel(self, abstract: List[Spec]) -> List[ConcretizationResult]:
+        """Fan the batch out to a worker pool, preserving sequential semantics.
+
+        The cache pass runs first, in the parent: hits (including duplicate
+        specs within the batch, which the sequential path would also answer
+        from the cache) are replayed immediately and never reach a worker.
+        Every distinct remaining spec is solved exactly once.  Before the
+        pool starts, the parent grounds the shared base for each distinct
+        spec family, so forked workers inherit ready-made ground state and
+        only ever delta-ground + solve.  Results are reassembled in input
+        order, so the return value is element-wise identical to the
+        sequential path's.
+        """
+        results: List[Optional[ConcretizationResult]] = [None] * len(abstract)
+        pending: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for index, spec in enumerate(abstract):
+            self.stats.specs_solved += 1
+            key = self._solve_key(spec)
+            if key in pending:
+                # duplicate of a spec already scheduled this batch: the
+                # sequential path would replay it from the cache
+                self.stats.solve_cache_hits += 1
+                pending[key].append(index)
+                continue
+            cached = self.solve_cache.get(key)
+            if cached is not None:
+                self.stats.solve_cache_hits += 1
+                results[index] = self._replay(cached)
+                continue
+            self.stats.solve_cache_misses += 1
+            pending[key] = [index]
+
+        if pending:
+            unique = [abstract[indices[0]] for indices in pending.values()]
+            if len(unique) == 1:
+                # a single miss gains nothing from a pool; solve it inline
+                solved = [self._solve_uncached(unique[0])]
+            else:
+                solved = self._fan_out(unique)
+            for (key, indices), concretization in zip(pending.items(), solved):
+                self.stats.delta_groundings += 1
+                pristine = self._copy_result(concretization)
+                self.solve_cache.put(key, pristine)
+                results[indices[0]] = concretization
+                for duplicate in indices[1:]:
+                    results[duplicate] = self._replay(pristine)
+        return results
+
+    def _fan_out(self, unique: List[Spec]) -> List[ConcretizationResult]:
+        """Pre-ground the needed bases, then run ``unique`` on the pool.
+
+        Grounding happens in the parent, before workers fork, so every
+        worker finds its base ready-made.  The batch's family count is
+        registered in ``_base_demands`` for the duration, widening the local
+        base memo, so a batch spanning more families than the steady-state
+        LRU limit cannot evict a pre-grounded base before the worker that
+        needs it runs — including when several ``solve()`` calls overlap on
+        one session (demands are summed, and each batch removes only its
+        own registration).
+        """
+        families = {self._base_key([spec]) for spec in unique}
+        token = next(_WORKER_BATCH_IDS)
+        self._base_demands[token] = len(families)
+        try:
+            for spec in unique:
+                self._base_for([spec])
+            return self._run_workers(unique)
+        finally:
+            self._base_demands.pop(token, None)
+
+    def _resolve_backend(self) -> str:
+        if self.worker_backend != "auto":
+            return self.worker_backend
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "process"
+        return "thread"
+
+    def _run_workers(self, specs: List[Spec]) -> List[ConcretizationResult]:
+        """Solve ``specs`` (all cache misses, bases pre-grounded) on a pool.
+
+        One executor abstraction covers both backends: ``"process"`` builds
+        a fork-context :class:`~concurrent.futures.ProcessPoolExecutor`
+        (workers inherit the grounded bases through copy-on-write memory and
+        ship back only the ~KB-sized results), ``"thread"`` a
+        :class:`~concurrent.futures.ThreadPoolExecutor`.  If the pool cannot
+        be created, cannot actually start workers (fork happens lazily at
+        the first submit), or dies underneath us (sandboxes without
+        semaphores, fork guards, the OOM killer, ...), the batch degrades to
+        in-process sequential solving rather than failing.  Only pool
+        *infrastructure* failures degrade — an exception raised by a solve
+        itself (e.g. an unsatisfiable spec) propagates immediately, exactly
+        as it would from the sequential path.
+        """
+        workers = min(self.workers, len(specs))
+        backend = self._resolve_backend()
+        batch = next(_WORKER_BATCH_IDS)
+        _WORKER_BATCHES[batch] = (self, list(specs))
+        executor = None
+        try:
+            try:
+                if backend == "process":
+                    context = multiprocessing.get_context("fork")
+                    executor = ProcessPoolExecutor(
+                        max_workers=workers, mp_context=context
+                    )
+                else:
+                    executor = ThreadPoolExecutor(max_workers=workers)
+                futures = [
+                    executor.submit(_worker_solve, batch, i)
+                    for i in range(len(specs))
+                ]
+            except (OSError, ValueError, RuntimeError):
+                # the pool never came up (no semaphores, cannot fork, cannot
+                # start threads): degrade, don't fail
+                return [self._solve_uncached(spec) for spec in specs]
+            try:
+                results = [future.result() for future in futures]
+            except BrokenProcessPool:
+                # a worker process died mid-batch: degrade, don't fail
+                return [self._solve_uncached(spec) for spec in specs]
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+            _WORKER_BATCHES.pop(batch, None)
+        self.stats.parallel_solves += len(results)
+        for result in results:
+            session_stats = result.statistics.get("session")
+            if isinstance(session_stats, dict):
+                session_stats["parallel_backend"] = backend
+        return results
 
     @staticmethod
     def _copy_specs(result: ConcretizationResult) -> Tuple[List[Spec], Dict[str, Spec]]:
@@ -463,3 +776,18 @@ class ConcretizationSession:
         }
         timings = {"setup": 0.0, "load": 0.0, "ground": 0.0, "solve": 0.0, "total": 0.0}
         return self._copy_result(cached, statistics=statistics, timings=timings)
+
+
+class ParallelConcretizationSession(ConcretizationSession):
+    """A :class:`ConcretizationSession` that solves batches in parallel.
+
+    Pure convenience: ``ParallelConcretizationSession(...)`` is
+    ``ConcretizationSession(..., workers="auto")`` — the shared base is still
+    grounded exactly once (in the parent), the solve cache still answers
+    repeats, and results are still element-wise identical to a sequential
+    session in input order.  Pass ``workers=N`` explicitly to pin the pool
+    size, or ``worker_backend="thread"`` on platforms without ``fork``.
+    """
+
+    def __init__(self, *args, workers: Union[int, str] = "auto", **kwargs):
+        super().__init__(*args, workers=workers, **kwargs)

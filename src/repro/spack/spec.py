@@ -303,7 +303,7 @@ class Spec:
 
     def to_dict(self) -> Dict:
         """Serializable description of the full DAG rooted at this spec."""
-        return {
+        data = {
             "node": self.node_dict(),
             "hash": self.dag_hash() if self.concrete else None,
             "dependencies": {
@@ -311,6 +311,12 @@ class Spec:
                 for name, dependency in sorted(self.dependencies.items())
             },
         }
+        # kept outside node_dict(): the install-provenance marker must
+        # round-trip (persistent solve caches replay reuse results), but it
+        # is not part of the node's identity, so dag_hash() must not see it
+        if self.installed_hash:
+            data["installed_hash"] = self.installed_hash
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Spec":
@@ -331,6 +337,7 @@ class Spec:
             spec.dependencies[name] = cls.from_dict(sub)
         if data.get("hash"):
             spec.mark_concrete()
+        spec.installed_hash = data.get("installed_hash")
         return spec
 
     # ------------------------------------------------------------------

@@ -1,21 +1,52 @@
-"""The installed-package database (store / buildcache).
+"""The installed-package database (store / buildcache) and the cache layers
+built on top of it.
 
 Every concrete spec installed into the store is identified by its DAG hash
-(Figure 4 in the paper).  The database is what the reuse encoding of Section
-VI draws its ``installed_hash`` / ``imposed_constraint`` facts from, and what
-the Figure 7e–7g experiments grow to tens of thousands of entries.
+(Figure 4 in the paper).  The :class:`Database` is what the reuse encoding of
+Section VI draws its ``installed_hash`` / ``imposed_constraint`` facts from,
+and what the Figure 7e–7g experiments grow to tens of thousands of entries.
+
+This module also hosts the cache subsystem the batch/parallel concretization
+sessions (:mod:`repro.spack.concretize.session`) layer on top of the store:
+
+* :class:`SolveCache` — an in-memory LRU memo of
+  :class:`~repro.spack.concretize.concretizer.ConcretizationResult` objects,
+  keyed by content hashes so a hit can be replayed without touching the
+  grounder or solver;
+* :class:`PersistentSolveCache` — the same interface, spilled to a cache
+  directory as versioned JSON so a *second process* can replay an entire
+  batch with zero solver calls;
+* :class:`PersistentGroundCache` — an on-disk (pickle) cache of grounded
+  base programs, so warm processes skip re-grounding the shared
+  spec-independent fact layer.
+
+All persistent layers share the invariants documented in ``docs/CACHING.md``:
+content-hash keys (never mtimes), a :data:`CACHE_FORMAT_VERSION` field in
+every file, atomic single-file writes (safe under concurrent writers), and
+corruption-tolerant loads — a damaged, truncated, foreign, or version-skewed
+cache file is treated as a miss (a cold solve), never an error and never a
+stale result.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
 from repro.spack.errors import SpackError
 from repro.spack.spec import Spec
 from repro.spack.spec_parser import parse_spec
+
+#: Version stamp written into every on-disk cache file.  Bump it whenever the
+#: serialized layout (or the semantics of what is cached) changes; readers
+#: treat any other version as a miss, so old and new code can share one cache
+#: directory without ever exchanging garbage.
+CACHE_FORMAT_VERSION = 1
 
 
 class Database:
@@ -200,5 +231,305 @@ class SolveCache:
     def __repr__(self):
         return (
             f"<SolveCache {len(self)} entries, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Persistent (on-disk) caches
+# ---------------------------------------------------------------------------
+
+
+def cache_key_token(key: Hashable) -> str:
+    """A deterministic string rendering of a cache key.
+
+    Used both to derive the on-disk filename (through a SHA-256 digest) and
+    as an integrity check *inside* the file: a load only counts as a hit if
+    the stored token matches, so digest collisions or foreign files in the
+    cache directory can never surface someone else's result.  Unordered
+    collections are sorted first — ``repr`` of a frozenset depends on the
+    per-process hash seed and would break cross-process key equality.
+    """
+    if isinstance(key, (frozenset, set)):
+        return "{" + ",".join(sorted(cache_key_token(item) for item in key)) + "}"
+    if isinstance(key, tuple):
+        return "(" + ",".join(cache_key_token(item) for item in key) + ")"
+    return repr(key)
+
+
+def _cache_file_digest(token: str) -> str:
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:40]
+
+
+def _atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (tmp file + rename).
+
+    Concurrent writers to the same key are safe: each writes its own
+    temporary file and the final ``os.replace`` is atomic, so readers only
+    ever observe a complete file (last writer wins — entries for one key are
+    deterministic, so the race is benign).
+    """
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class _DiskCacheLayer:
+    """The envelope logic shared by every on-disk cache flavor.
+
+    One file per key under ``<cache_dir>/<subdir>/<sha256(token)><suffix>``,
+    each holding ``{"version", "key", "payload"}`` through a pluggable codec
+    (JSON for results, pickle for ground programs).  :meth:`load` classifies
+    every outcome so callers count uniformly:
+
+    * ``("hit", payload)`` — complete, current-version, matching-key entry;
+    * ``("miss", None)`` — absent, version-skewed, or foreign-key file
+      (expected situations, not corruption);
+    * ``("error", None)`` — unreadable or undecodable file (corruption).
+    """
+
+    def __init__(self, cache_dir: str, subdir: str, suffix: str, codec):
+        self.directory = os.path.join(cache_dir, subdir)
+        self.suffix = suffix
+        self.codec = codec
+
+    def path_for(self, token: str) -> str:
+        return os.path.join(self.directory, _cache_file_digest(token) + self.suffix)
+
+    def load(self, token: str) -> Tuple[str, object]:
+        try:
+            with open(self.path_for(token), "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return ("miss", None)
+        except OSError:
+            return ("error", None)
+        try:
+            envelope = self.codec.loads(data)
+        except Exception:
+            return ("error", None)
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("version") != CACHE_FORMAT_VERSION
+            or envelope.get("key") != token
+        ):
+            return ("miss", None)
+        return ("hit", envelope.get("payload"))
+
+    def store(self, token: str, payload) -> bool:
+        """Best-effort write; True on success, False on any failure."""
+        try:
+            data = self.codec.dumps(
+                {"version": CACHE_FORMAT_VERSION, "key": token, "payload": payload}
+            )
+            _atomic_write_bytes(self.path_for(token), data)
+            return True
+        except Exception:
+            return False
+
+
+class _JsonCodec:
+    @staticmethod
+    def dumps(envelope: Dict) -> bytes:
+        return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def loads(data: bytes) -> Dict:
+        return json.loads(data.decode("utf-8"))
+
+
+class _PickleCodec:
+    @staticmethod
+    def dumps(envelope: Dict) -> bytes:
+        return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def loads(data: bytes) -> Dict:
+        return pickle.loads(data)
+
+
+class PersistentSolveCache(SolveCache):
+    """A :class:`SolveCache` that spills solved results to a cache directory.
+
+    The in-memory LRU stays the first-level cache; on a memory miss the key
+    is looked up under ``<cache_dir>/solve/<sha256(key)>.json``.  Entries are
+    written through on :meth:`put` as versioned JSON
+    (:meth:`ConcretizationResult.to_dict
+    <repro.spack.concretize.concretizer.ConcretizationResult.to_dict>`), so a
+    *different process* pointed at the same directory replays the same batch
+    without a single grounding or solver call.
+
+    Degradation contract (exercised in
+    ``tests/concretize/test_persistent_cache.py``): corrupted files, version
+    mismatches, key-token mismatches, unreadable directories, and failed
+    writes all degrade to cache misses (cold solves) and are tallied in
+    :meth:`statistics` under ``load_errors`` / ``write_errors``; they never
+    raise and can never return a stale or foreign result, because keys embed
+    the content hash of every relevant input (see ``docs/CACHING.md``).
+
+    Set ``persist=False`` (or construct a plain :class:`SolveCache`) to
+    disable the disk layer while keeping the interface.
+    """
+
+    def __init__(self, cache_dir: str, max_entries: int = 1024, persist: bool = True):
+        super().__init__(max_entries)
+        self.cache_dir = cache_dir
+        self.persist = persist
+        self._disk = _DiskCacheLayer(cache_dir, "solve", ".json", _JsonCodec)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.load_errors = 0
+        self.writes = 0
+        self.write_errors = 0
+
+    # -- SolveCache interface ------------------------------------------
+
+    def get(self, key: Hashable):
+        """Memory first, then disk; a disk hit is promoted into memory."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        value = self._load(key) if self.persist else None
+        if value is not None:
+            self.hits += 1
+            self.disk_hits += 1
+            super().put(key, value)
+            return value
+        self.misses += 1
+        if self.persist:
+            self.disk_misses += 1
+        return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert into memory and write through to disk (best effort)."""
+        super().put(key, value)
+        if self.persist:
+            self._dump(key, value)
+
+    # -- disk layer ----------------------------------------------------
+
+    def _load(self, key: Hashable):
+        from repro.spack.concretize.concretizer import ConcretizationResult
+
+        status, payload = self._disk.load(cache_key_token(key))
+        if status == "error":
+            self.load_errors += 1
+            return None
+        if status != "hit":
+            return None
+        try:
+            return ConcretizationResult.from_dict(payload)
+        except Exception:
+            self.load_errors += 1
+            return None
+
+    def _dump(self, key: Hashable, value) -> None:
+        try:
+            payload = value.to_dict()
+        except Exception:
+            self.write_errors += 1
+            return
+        if self._disk.store(cache_key_token(key), payload):
+            self.writes += 1
+        else:
+            self.write_errors += 1
+
+    # -- introspection -------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        stats = super().statistics()
+        stats.update(
+            {
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "load_errors": self.load_errors,
+                "writes": self.writes,
+                "write_errors": self.write_errors,
+            }
+        )
+        return stats
+
+    def __repr__(self):
+        return (
+            f"<PersistentSolveCache {len(self)} entries at {self.cache_dir!r}, "
+            f"{self.hits} hits ({self.disk_hits} disk) / {self.misses} misses>"
+        )
+
+
+class PersistentGroundCache:
+    """An on-disk cache of grounded base programs (pickle, trusted-local).
+
+    Sessions use it to persist the expensive artifact behind
+    :class:`~repro.asp.control.PreparedProgram`: the shared spec-independent
+    grounding that every solve forks.  Keys embed the session content hash
+    (repository + platform + compilers + solver preset + logic program), the
+    store token, and the possible-package family, so any input change makes a
+    new key and old entries simply stop being read.
+
+    Values are arbitrary picklable objects; files live under
+    ``<cache_dir>/ground/<sha256(key)>.pkl`` with the same version field,
+    atomic-write, and corruption-tolerance rules as
+    :class:`PersistentSolveCache`.  Pickle is used because ground programs
+    are large graphs of interned atoms — treat the cache directory as
+    trusted local state (it is written and read only by this machine's own
+    sessions), not as an interchange format.
+    """
+
+    def __init__(self, cache_dir: str, persist: bool = True):
+        self.cache_dir = cache_dir
+        self.persist = persist
+        self._disk = _DiskCacheLayer(cache_dir, "ground", ".pkl", _PickleCodec)
+        self.hits = 0
+        self.misses = 0
+        self.load_errors = 0
+        self.writes = 0
+        self.write_errors = 0
+
+    def get(self, key: Hashable):
+        """The cached object for ``key``, or None (on any miss or error)."""
+        if not self.persist:
+            return None
+        status, payload = self._disk.load(cache_key_token(key))
+        if status == "hit":
+            self.hits += 1
+            return payload
+        if status == "error":
+            self.load_errors += 1
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Persist ``value`` under ``key`` (best effort; never raises)."""
+        if not self.persist:
+            return
+        if self._disk.store(cache_key_token(key), value):
+            self.writes += 1
+        else:
+            self.write_errors += 1
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "load_errors": self.load_errors,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+        }
+
+    def __repr__(self):
+        return (
+            f"<PersistentGroundCache at {self.cache_dir!r}, "
             f"{self.hits} hits / {self.misses} misses>"
         )

@@ -1,0 +1,384 @@
+"""Persistent on-disk caches: warm starts, corruption, invalidation.
+
+The contract under test (ISSUE 2 tentpole, act 2): with ``cache_dir`` set,
+solved results and grounded bases persist across sessions *and processes*,
+warm starts replay with zero groundings and zero solver calls, and every
+failure mode — corrupted files, version skew, stale store state, concurrent
+writers — degrades to a cold solve: never a crash, never a stale result.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import pathlib
+import pickle
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.spack.concretize import ConcretizationSession
+from repro.spack.concretize.session import clear_shared_bases
+from repro.spack.store import (
+    CACHE_FORMAT_VERSION,
+    Database,
+    PersistentGroundCache,
+    PersistentSolveCache,
+    SolveCache,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+BATCH = ["example", "example+bzip", "example@1.0.0", "example"]
+
+
+def signature(result):
+    return (
+        str(result.spec),
+        sorted(str(s) for s in result.specs.values()),
+        tuple(sorted((level, cost) for level, cost in result.costs.items() if cost)),
+        sorted(result.built),
+        sorted(result.reused),
+    )
+
+
+def fresh_session(micro_repo, cache_dir, **kwargs):
+    """A session with cold in-memory caches over a (possibly warm) disk dir."""
+    clear_shared_bases()
+    return ConcretizationSession(
+        repo=micro_repo, share_ground_cache=False, cache_dir=str(cache_dir), **kwargs
+    )
+
+
+def solve_files(cache_dir):
+    return sorted(glob.glob(os.path.join(str(cache_dir), "solve", "*.json")))
+
+
+def ground_files(cache_dir):
+    return sorted(glob.glob(os.path.join(str(cache_dir), "ground", "*.pkl")))
+
+
+# ---------------------------------------------------------------------------
+# Warm starts
+# ---------------------------------------------------------------------------
+
+
+def test_second_session_replays_from_disk(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    first = [signature(r) for r in one.solve(BATCH)]
+    assert len(solve_files(tmp_path)) == 3  # distinct specs only
+    assert len(ground_files(tmp_path)) == 1  # one family base
+
+    two = fresh_session(micro_repo, tmp_path)
+    second = [signature(r) for r in two.solve(BATCH)]
+    assert second == first
+    assert two.stats.solve_cache_misses == 0
+    assert two.stats.delta_groundings == 0
+    assert two.stats.base_groundings == 0
+    assert two.solve_cache.statistics()["disk_hits"] == 3
+
+
+def test_second_process_replays_with_zero_solver_calls(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    first = [str(r.spec) for r in one.solve(BATCH)]
+
+    child_code = (
+        "import json, sys\n"
+        "sys.path.insert(0, sys.argv[3])\n"
+        "from tests.conftest import MICRO_PACKAGES\n"
+        "from repro.spack.repo import Repository\n"
+        "from repro.spack.concretize import ConcretizationSession\n"
+        "repo = Repository(name='micro', packages=MICRO_PACKAGES)\n"
+        "repo.set_provider_preference('mpi', ['mpich', 'openmpi'])\n"
+        "repo.set_provider_preference('blas', ['miniblas', 'reflapack'])\n"
+        "repo.set_provider_preference('lapack', ['miniblas', 'reflapack'])\n"
+        "session = ConcretizationSession(repo=repo, share_ground_cache=False,\n"
+        "                                cache_dir=sys.argv[1])\n"
+        "results = session.solve(json.loads(sys.argv[2]))\n"
+        "print(json.dumps({'stats': session.stats.as_dict(),\n"
+        "                  'roots': [str(r.spec) for r in results]}))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    child = subprocess.run(
+        [sys.executable, "-c", child_code, str(tmp_path), json.dumps(BATCH),
+         str(REPO_ROOT)],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+    )
+    assert child.returncode == 0, child.stderr
+    payload = json.loads(child.stdout)
+    assert payload["roots"] == first
+    assert payload["stats"]["solve_cache_misses"] == 0  # zero solver calls
+    assert payload["stats"]["delta_groundings"] == 0
+    assert payload["stats"]["base_groundings"] == 0
+
+
+def test_ground_cache_warms_base_for_new_specs(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    one.solve(["example"])
+
+    # cold solve cache (override), warm ground cache: the base comes from
+    # disk and only the delta is ground + solved
+    two = fresh_session(micro_repo, tmp_path, solve_cache=SolveCache())
+    result = two.solve(["example~bzip"])[0]
+    assert result.spec.concrete
+    assert two.stats.base_groundings == 0
+    assert two.stats.base_disk_hits == 1
+    assert two.stats.delta_groundings == 1
+
+
+def test_memo_hit_bases_are_still_written_to_disk(micro_repo, tmp_path):
+    """A base grounded by a cache-less session and then *reused* (via the
+    process-wide memo) by a persisting session must still land on disk —
+    warm starts have to find every base the persisting session used."""
+    clear_shared_bases()
+    warmup = ConcretizationSession(repo=micro_repo)  # no cache_dir, shared memo
+    warmup.solve(["example"])
+
+    session = ConcretizationSession(repo=micro_repo, cache_dir=str(tmp_path))
+    session.solve(["example~bzip"])
+    assert session.stats.base_groundings == 0  # reused the memoized base
+    assert len(ground_files(tmp_path)) == 1  # ...but persisted it anyway
+    assert session.ground_cache.writes == 1
+    # and a repeat solve does not re-probe or re-write
+    session.solve(["example@1.0.0"])
+    assert session.ground_cache.writes == 1
+
+
+def test_disk_replayed_results_are_fully_usable(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    original = one.solve(["example+bzip"])[0]
+
+    two = fresh_session(micro_repo, tmp_path)
+    replayed = two.solve(["example+bzip"])[0]
+    assert signature(replayed) == signature(original)
+    assert replayed.spec.concrete
+    assert replayed.model is None  # the raw solver model does not persist
+    assert replayed.statistics["session"]["solve_cache"] == "hit"
+    # replays are independent copies: mutating one cannot poison the cache
+    # (variant values are canonically "true"/"false" strings, see
+    # normalize_variant_value)
+    replayed.spec.variants["bzip"] = "false"
+    again = two.solve(["example+bzip"])[0]
+    assert again.spec.variants["bzip"] == "true"
+
+
+# ---------------------------------------------------------------------------
+# Corruption and version skew: degrade to a cold solve, never crash
+# ---------------------------------------------------------------------------
+
+
+def test_corrupted_solve_entry_degrades_to_cold_solve(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    expected = signature(one.solve(["example"])[0])
+    (path,) = solve_files(tmp_path)
+    with open(path, "wb") as handle:
+        handle.write(b"\x00garbage, not json\xff")
+
+    two = fresh_session(micro_repo, tmp_path)
+    result = two.solve(["example"])[0]
+    assert signature(result) == expected  # cold re-solve, correct result
+    assert two.stats.solve_cache_misses == 1
+    assert two.solve_cache.load_errors == 1
+    # the cold solve overwrote the damaged entry: a third session hits again
+    three = fresh_session(micro_repo, tmp_path)
+    three.solve(["example"])
+    assert three.stats.solve_cache_misses == 0
+
+
+def test_truncated_solve_entry_degrades_to_cold_solve(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    one.solve(["example"])
+    (path,) = solve_files(tmp_path)
+    payload = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(payload[: len(payload) // 2])
+
+    two = fresh_session(micro_repo, tmp_path)
+    assert two.solve(["example"])[0].spec.concrete
+    assert two.solve_cache.load_errors == 1
+
+
+def test_version_mismatch_is_a_miss_not_an_error(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    one.solve(["example"])
+    (path,) = solve_files(tmp_path)
+    payload = json.load(open(path))
+    payload["version"] = CACHE_FORMAT_VERSION + 1
+    json.dump(payload, open(path, "w"))
+
+    two = fresh_session(micro_repo, tmp_path)
+    assert two.solve(["example"])[0].spec.concrete
+    assert two.stats.solve_cache_misses == 1
+    assert two.solve_cache.load_errors == 0  # skew is not corruption
+
+
+def test_corrupted_ground_entry_degrades_to_fresh_grounding(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    expected = signature(one.solve(["example"])[0])
+    (path,) = ground_files(tmp_path)
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+
+    two = fresh_session(micro_repo, tmp_path, solve_cache=SolveCache())
+    assert signature(two.solve(["example"])[0]) == expected
+    assert two.stats.base_groundings == 1  # cold grounding
+    assert two.stats.base_disk_hits == 0
+    assert two.ground_cache.load_errors == 1
+    assert two.ground_cache.writes == 1  # the damaged entry was overwritten
+    # the cache self-healed: the next cold session loads the base from disk
+    three = fresh_session(micro_repo, tmp_path, solve_cache=SolveCache())
+    three.solve(["example"])
+    assert three.stats.base_disk_hits == 1
+    assert three.stats.base_groundings == 0
+
+
+def test_ground_cache_version_mismatch_is_a_miss(tmp_path):
+    cache = PersistentGroundCache(str(tmp_path))
+    cache.put("key", {"some": "payload"})
+    (path,) = ground_files(tmp_path)
+    payload = pickle.load(open(path, "rb"))
+    payload["version"] = CACHE_FORMAT_VERSION + 1
+    pickle.dump(payload, open(path, "wb"))
+    assert cache.get("key") is None
+    assert cache.load_errors == 0
+
+
+def test_unwritable_cache_dir_never_fails_the_solve(micro_repo, tmp_path):
+    target = tmp_path / "cache"
+    target.mkdir()
+    # plant regular files where the cache subdirectories must go, so every
+    # write fails (works even when the suite runs as root, where permission
+    # bits would not)
+    (target / "solve").write_text("in the way")
+    (target / "ground").write_text("in the way")
+    session = fresh_session(micro_repo, target)
+    result = session.solve(["example"])[0]
+    assert result.spec.concrete
+    assert session.solve_cache.write_errors >= 1
+    assert session.ground_cache.write_errors >= 1
+
+
+# ---------------------------------------------------------------------------
+# Invalidation: stale inputs can never produce stale answers
+# ---------------------------------------------------------------------------
+
+
+def test_stale_store_generation_bypasses_disk_entries(micro_repo, tmp_path):
+    store = Database()
+    one = fresh_session(micro_repo, tmp_path, store=store, reuse=True)
+    seeded = one.solve(["example"])[0]
+    store.install(seeded.spec)  # the store grew: old entries are stale
+
+    two = fresh_session(micro_repo, tmp_path, store=store, reuse=True)
+    result = two.solve(["example"])[0]
+    assert two.stats.solve_cache_misses == 1  # re-solved, not replayed
+    assert result.reused  # and the fresh solve sees the new store content
+
+    # the pre-install key still answers a session over the *empty* store
+    empty = fresh_session(micro_repo, tmp_path, store=Database(), reuse=True)
+    assert signature(empty.solve(["example"])[0]) == signature(seeded)
+    assert empty.stats.solve_cache_misses == 0
+
+
+def test_warm_replay_preserves_installed_hashes(micro_repo, tmp_path):
+    """Reuse solves carry install provenance (Spec.installed_hash); a warm
+    disk replay must return it intact, not silently stripped."""
+    store = Database()
+    seeder = fresh_session(micro_repo, tmp_path / "seed", store=store, reuse=True)
+    store.install(seeder.solve(["example"])[0].spec)
+
+    one = fresh_session(micro_repo, tmp_path, store=store, reuse=True)
+    cold = one.solve(["example"])[0]
+    cold_hashes = {
+        node.name: node.installed_hash for node in cold.spec.traverse()
+    }
+    assert any(cold_hashes.values())  # the solve did reuse installed specs
+
+    two = fresh_session(micro_repo, tmp_path, store=store, reuse=True)
+    warm = two.solve(["example"])[0]
+    assert two.stats.solve_cache_misses == 0  # replayed from disk
+    warm_hashes = {
+        node.name: node.installed_hash for node in warm.spec.traverse()
+    }
+    assert warm_hashes == cold_hashes
+
+
+def test_preset_change_bypasses_disk_entries(micro_repo, tmp_path):
+    from repro.asp.configs import SolverConfig
+
+    one = fresh_session(micro_repo, tmp_path)
+    one.solve(["example"])
+
+    two = fresh_session(micro_repo, tmp_path, config=SolverConfig.preset("frumpy"))
+    two.solve(["example"])
+    assert two.stats.solve_cache_misses == 1  # no cross-preset replay
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers
+# ---------------------------------------------------------------------------
+
+
+def test_two_sessions_share_one_cache_dir(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    two = ConcretizationSession(
+        repo=micro_repo, share_ground_cache=False, cache_dir=str(tmp_path)
+    )
+    a = one.solve(["example"])[0]
+    # session two sees session one's write immediately (through disk)
+    b = two.solve(["example"])[0]
+    assert signature(a) == signature(b)
+    assert two.stats.solve_cache_misses == 0
+    # and writes by two are visible back to a *new* session
+    two.solve(["example~bzip"])
+    three = fresh_session(micro_repo, tmp_path)
+    three.solve(["example", "example~bzip"])
+    assert three.stats.solve_cache_misses == 0
+
+
+def test_concurrent_writers_to_one_key_never_corrupt(micro_repo, tmp_path):
+    one = fresh_session(micro_repo, tmp_path)
+    result = one.solve(["example"])[0]
+    key = one._solve_key(one._as_specs(["example"])[0])
+    pristine = one._copy_result(result)
+
+    caches = [PersistentSolveCache(str(tmp_path)) for _ in range(4)]
+    errors = []
+
+    def hammer(cache):
+        try:
+            for _ in range(10):
+                cache.put(key, pristine)
+                assert cache.get(key) is not None
+        except Exception as exc:  # pragma: no cover - the test is that none happen
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(c,)) for c in caches]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert all(cache.write_errors == 0 for cache in caches)
+    # the surviving file is complete and loadable
+    reader = fresh_session(micro_repo, tmp_path)
+    assert reader.solve(["example"])[0].spec.concrete
+    assert reader.stats.solve_cache_misses == 0
+    # no stray temp files left behind
+    leftovers = [f for f in os.listdir(tmp_path / "solve") if f.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_persistence_can_be_disabled(micro_repo, tmp_path):
+    session = fresh_session(micro_repo, tmp_path, persist_ground=False)
+    session.solve(["example"])
+    assert ground_files(tmp_path) == []  # no base pickles
+    assert len(solve_files(tmp_path)) == 1  # results still persist
+
+    cache = PersistentSolveCache(str(tmp_path / "off"), persist=False)
+    cache.put(("k",), object())
+    assert not (tmp_path / "off").exists()

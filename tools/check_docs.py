@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Docs symbol check: fail if docs reference code that does not exist.
+
+Scans ``docs/*.md`` (and ``README.md``) for backtick-quoted code references
+and verifies each against the source tree, so the documentation cannot
+silently rot as the code evolves.  Checked reference shapes:
+
+* ``repro.foo.bar`` / ``repro.foo.bar.Baz`` — the module path must resolve
+  under ``src/``, and a trailing non-module component must be defined
+  somewhere in it;
+* ``SomeClass`` / ``SomeClass.method`` — a ``class SomeClass`` must exist in
+  ``src/``, and the method must be defined somewhere in ``src/``;
+* ``some_function()`` — a ``def some_function`` must exist in ``src/``;
+* ``ALL_CAPS_CONSTANT`` — an assignment must exist in ``src/``.
+
+Everything else inside backticks (shell commands, flags, file paths, plain
+words) is ignored.  Run from the repository root (CI does)::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import builtins
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+BACKTICK = re.compile(r"`([^`\n]+)`")
+MODULE_PATH = re.compile(r"^repro(\.\w+)+$")
+CLASS_REF = re.compile(r"^[A-Z][A-Za-z0-9]*(\.\w+)*$")
+FUNCTION_CALL = re.compile(r"^[a-z_][a-z0-9_]*\(\)$")
+CONSTANT = re.compile(r"^[A-Z][A-Z0-9_]+$")
+
+#: Well-known names docs may reference that live in the standard library, not
+#: in src/. Builtins (``None``, ``repr``, ...) are detected automatically.
+STDLIB_ALLOWLIST = {
+    "ProcessPoolExecutor",
+    "ThreadPoolExecutor",
+    "OrderedDict",
+    "Path",
+}
+
+
+def load_sources() -> str:
+    """All Python source under src/, concatenated (grep corpus)."""
+    chunks = []
+    for path in sorted(SRC.rglob("*.py")):
+        chunks.append(path.read_text(encoding="utf-8"))
+    return "\n".join(chunks)
+
+
+def module_exists(dotted: str) -> bool:
+    parts = dotted.split(".")
+    path = SRC.joinpath(*parts)
+    return path.with_suffix(".py").is_file() or (path / "__init__.py").is_file()
+
+
+def check_reference(token: str, corpus: str):
+    """Return None if ``token`` resolves, else a reason string."""
+    root = token.split(".")[0].rstrip("()")
+    if root in STDLIB_ALLOWLIST or hasattr(builtins, root):
+        return None
+    if MODULE_PATH.match(token):
+        parts = token.split(".")
+        # longest prefix that is a module; the rest must be defined symbols
+        for cut in range(len(parts), 0, -1):
+            if module_exists(".".join(parts[:cut])):
+                for symbol in parts[cut:]:
+                    if not defined_in(symbol, corpus):
+                        return f"symbol {symbol!r} not found in src/"
+                return None
+        return "module path does not resolve under src/"
+    if FUNCTION_CALL.match(token):
+        name = token[:-2]
+        if not re.search(rf"^\s*def {re.escape(name)}\b", corpus, re.MULTILINE):
+            return f"no 'def {name}' in src/"
+        return None
+    if CLASS_REF.match(token):
+        first, *rest = token.split(".")
+        if not re.search(rf"^\s*class {re.escape(first)}\b", corpus, re.MULTILINE):
+            return f"no 'class {first}' in src/"
+        for symbol in rest:
+            if not defined_in(symbol, corpus):
+                return f"symbol {symbol!r} not found in src/"
+        return None
+    if CONSTANT.match(token):
+        if not re.search(rf"^\s*{re.escape(token)}\s*[:=]", corpus, re.MULTILINE):
+            return f"no assignment to {token} in src/"
+        return None
+    return None  # not a code reference shape we check
+
+
+def defined_in(symbol: str, corpus: str) -> bool:
+    pattern = (
+        rf"^\s*(?:def|class) {re.escape(symbol)}\b"
+        rf"|^\s*(?:self\.)?{re.escape(symbol)}\s*[:=]"
+        rf"|^\s*{re.escape(symbol)}\s*[:=]"
+    )
+    return re.search(pattern, corpus, re.MULTILINE) is not None
+
+
+def main() -> int:
+    corpus = load_sources()
+    failures = []
+    checked = 0
+    for doc in DOC_FILES:
+        if not doc.is_file():
+            continue
+        text = doc.read_text(encoding="utf-8")
+        # drop fenced code blocks: they hold shell sessions and pseudo-code
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        seen = set()
+        for match in BACKTICK.finditer(text):
+            token = match.group(1).strip()
+            if token in seen:
+                continue
+            seen.add(token)
+            reason = check_reference(token, corpus)
+            if reason is None:
+                if MODULE_PATH.match(token) or FUNCTION_CALL.match(token) or \
+                        CLASS_REF.match(token) or CONSTANT.match(token):
+                    checked += 1
+            else:
+                failures.append((doc.relative_to(REPO_ROOT), token, reason))
+
+    for doc, token, reason in failures:
+        print(f"FAIL {doc}: `{token}` — {reason}", file=sys.stderr)
+    print(f"checked {checked} code references across {len(DOC_FILES)} docs, "
+          f"{len(failures)} stale")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
