@@ -27,10 +27,9 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
 
 from benchmarks.reporting import record  # noqa: E402
+from benchmarks.workloads import micro_repo, signature  # noqa: E402
 from repro.spack.concretize import ConcretizationSession, Concretizer  # noqa: E402
 from repro.spack.concretize.session import clear_shared_bases  # noqa: E402
-from repro.spack.repo import Repository  # noqa: E402
-from tests.conftest import MICRO_PACKAGES  # noqa: E402
 
 #: 10 overlapping micro-repo specs from one spec family: what a build-cache
 #: population run looks like (many variants/versions of the same roots,
@@ -47,24 +46,6 @@ WORKLOAD = (
     "example@1.0.0",
     "example@1.1.0",
 )
-
-
-def micro_repo() -> Repository:
-    repo = Repository(name="micro", packages=MICRO_PACKAGES)
-    repo.set_provider_preference("mpi", ["mpich", "openmpi"])
-    repo.set_provider_preference("blas", ["miniblas", "reflapack"])
-    repo.set_provider_preference("lapack", ["miniblas", "reflapack"])
-    return repo
-
-
-def signature(result):
-    return (
-        str(result.spec),
-        sorted(str(s) for s in result.specs.values()),
-        {level: cost for level, cost in result.costs.items() if cost},
-        sorted(result.built),
-        sorted(result.reused),
-    )
 
 
 def run_once(repo):

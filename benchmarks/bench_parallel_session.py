@@ -38,13 +38,12 @@ REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 sys.path.insert(0, REPO_ROOT)
 
 from benchmarks.reporting import record  # noqa: E402
+from benchmarks.workloads import micro_repo, signature  # noqa: E402
 from repro.spack.concretize import ConcretizationSession  # noqa: E402
 from repro.spack.concretize.session import (  # noqa: E402
     clear_shared_bases,
     default_worker_count,
 )
-from repro.spack.repo import Repository  # noqa: E402
-from tests.conftest import MICRO_PACKAGES  # noqa: E402
 
 #: 16 distinct, overlapping micro-repo specs from one spec family (versions x
 #: variants x dependency constraints of the paper's Figure 2 ``example``
@@ -69,26 +68,6 @@ WORKLOAD = (
 )
 
 WORKERS = 4
-
-
-def micro_repo() -> Repository:
-    repo = Repository(name="micro", packages=MICRO_PACKAGES)
-    repo.set_provider_preference("mpi", ["mpich", "openmpi"])
-    repo.set_provider_preference("blas", ["miniblas", "reflapack"])
-    repo.set_provider_preference("lapack", ["miniblas", "reflapack"])
-    return repo
-
-
-def signature(result):
-    return (
-        str(result.spec),
-        sorted(str(s) for s in result.specs.values()),
-        # sorted, so the rendering is stable across processes (dict insertion
-        # order differs after a JSON round trip)
-        tuple(sorted((level, cost) for level, cost in result.costs.items() if cost)),
-        sorted(result.built),
-        sorted(result.reused),
-    )
 
 
 def speedup_floor(quick: bool):

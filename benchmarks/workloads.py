@@ -1,0 +1,59 @@
+"""Shared fixtures for the session benchmarks.
+
+The micro catalog (flat and sharded flavors) and the result ``signature``
+every equivalence assertion compares on live here, so all benchmarks agree
+on what "element-wise identical" means — updating the identity semantics in
+one place updates every harness.
+"""
+
+from __future__ import annotations
+
+from repro.spack.repo import Repository, RepositoryShard, ShardedRepository
+from tests.conftest import MICRO_PACKAGES
+
+#: the micro catalog split into four shards (apps last, like the builtin one)
+MICRO_SHARD_LAYOUT = (
+    ("core", ("zlib", "bzip2", "hwloc")),
+    ("mpi", ("mpich", "openmpi")),
+    ("math", ("miniblas", "reflapack")),
+    ("apps", ("example", "minitool", "miniapp", "oldcode")),
+)
+
+
+def _micro_preferences(repo):
+    repo.set_provider_preference("mpi", ["mpich", "openmpi"])
+    repo.set_provider_preference("blas", ["miniblas", "reflapack"])
+    repo.set_provider_preference("lapack", ["miniblas", "reflapack"])
+    return repo
+
+
+def micro_repo() -> Repository:
+    """The flat (monolithic) micro repository."""
+    return _micro_preferences(Repository(name="micro", packages=MICRO_PACKAGES))
+
+
+def micro_sharded_repo() -> ShardedRepository:
+    """The same catalog as :func:`micro_repo`, split into shards."""
+    by_name = {cls.name: cls for cls in MICRO_PACKAGES}
+    shards = [
+        RepositoryShard(name, [by_name[n] for n in names])
+        for name, names in MICRO_SHARD_LAYOUT
+    ]
+    return _micro_preferences(ShardedRepository(name="micro", shards=shards))
+
+
+def signature(result):
+    """Everything that must match for two results to count as identical.
+
+    Cost levels with zero cost are dropped (a shared base grounds minimize
+    literals a minimal per-spec grounding never materializes, adding empty
+    levels); collections are sorted so the rendering is stable across
+    processes and JSON round trips.
+    """
+    return (
+        str(result.spec),
+        sorted(str(s) for s in result.specs.values()),
+        tuple(sorted((level, cost) for level, cost in result.costs.items() if cost)),
+        sorted(result.built),
+        sorted(result.reused),
+    )

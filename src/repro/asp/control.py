@@ -271,6 +271,34 @@ class PreparedProgram:
         """The shared (spec-independent) ground program."""
         return self._base.ground_program
 
+    def extend(
+        self,
+        extra_facts: Sequence[Tuple] = (),
+        possible_hints: Sequence[Tuple] = (),
+    ) -> "PreparedProgram":
+        """A new prepared program layering more *base* facts onto this one.
+
+        Where :meth:`fork` yields a throwaway per-solve :class:`Control`,
+        ``extend`` yields another shareable :class:`PreparedProgram`: the
+        grounding state is cloned and the new facts (plus layer-local
+        possibility hints) are grounded incrementally on the clone, so
+        ``self`` is never touched and both programs remain independently
+        forkable and picklable.  Sharded repository sessions chain one
+        ``extend`` per shard layer, caching every prefix of the chain.
+        """
+        layered = PreparedProgram.__new__(PreparedProgram)
+        layered.config = self.config
+        layered.timer = PhaseTimer()
+        layered.program = self.program
+        atoms = [ground_atom(*fact) for fact in extra_facts]
+        hints = [ground_atom(*hint) for hint in possible_hints]
+        with layered.timer.phase("ground"):
+            grounder = self._base.clone()
+            grounder.ground_delta(atoms, possible_hints=hints)
+        layered._base = grounder
+        layered.forks = 0
+        return layered
+
     def statistics(self) -> Dict[str, object]:
         return {
             "base_groundings": self._base.base_groundings,

@@ -194,12 +194,21 @@ class Grounder:
     top of it.  This is what makes batch concretization sessions fast.
 
     Contract for delta facts: they may introduce new atoms freely, but they
-    must not extend relations that appear in conditional-literal or
-    choice-element *conditions* for bindings that were already instantiated
-    during the base grounding (e.g. adding ``condition_requirement`` rows for
-    a pre-existing condition id would leave stale, weaker rule instances in
-    the ground program).  Fresh ids/keys are always safe — which is exactly
-    how the concretizer's spec-dependent fact layer is constructed.
+    must not extend relations that appear in conditional-literal *conditions*
+    of rule bodies for bindings that were already instantiated during the
+    base grounding (e.g. adding ``condition_requirement`` rows for a
+    pre-existing condition id would leave stale, weaker rule instances in the
+    ground program).  Fresh ids/keys are always safe — which is exactly how
+    the concretizer's spec-dependent fact layer is constructed.
+
+    Choice *elements* are exempt from that contract: choice instances are
+    registered by (rule, body substitution), and when a delta layer extends a
+    relation appearing in a choice-element condition (e.g. a later repository
+    shard adding ``version_declared`` rows for a package whose node was
+    already possible), the affected choices are re-expanded and upgraded *in
+    place* with the enlarged candidate set.  Sharded repositories rely on
+    this: cross-shard dependencies may point at packages whose declarations
+    arrive only in a later shard layer.
     """
 
     def __init__(
@@ -213,7 +222,10 @@ class Grounder:
         self.possible = _AtomDatabase()
         self.certain = _AtomDatabase()
         self._rule_keys: Set[tuple] = set()
-        self._choice_keys: Set[tuple] = set()
+        #: choice instances by (rule position, body substitution) -> index
+        #: into ``ground_program.choices``, so a later layer can *upgrade* an
+        #: instance whose element expansion grew (see class docstring).
+        self._choice_instances: Dict[tuple, int] = {}
         self._constraint_keys: Set[tuple] = set()
         self._minimize_keys: Set[tuple] = set()
         self._extra_facts = list(extra_facts)
@@ -271,7 +283,7 @@ class Grounder:
         other.possible = self.possible.copy()
         other.certain = self.certain.copy()
         other._rule_keys = set(self._rule_keys)
-        other._choice_keys = set(self._choice_keys)
+        other._choice_instances = dict(self._choice_instances)
         other._constraint_keys = set(self._constraint_keys)
         other._minimize_keys = set(self._minimize_keys)
         other._extra_facts = list(self._extra_facts)
@@ -283,16 +295,23 @@ class Grounder:
         other.delta_groundings = self.delta_groundings
         return other
 
-    def ground_delta(self, extra_facts: Sequence[tuple]) -> GroundProgram:
+    def ground_delta(
+        self,
+        extra_facts: Sequence[tuple],
+        possible_hints: Sequence[tuple] = (),
+    ) -> GroundProgram:
         """Ground additional facts on top of a completed :meth:`ground`.
 
         Rule instantiation is restricted to instances where at least one
         positive body literal matches an atom that is new in this layer
         (semi-naive evaluation); everything grounded before stays valid and
-        is not re-derived.
+        is not re-derived.  ``possible_hints`` are additional layer-local
+        possibility seeds with the same semantics as the constructor's: they
+        become possible (and seed joins) without becoming facts.
         """
         if self._components is None:
             self._extra_facts.extend(extra_facts)
+            self._possible_hints.extend(possible_hints)
             return self.ground()
         delta = _AtomDatabase()
         for atom in extra_facts:
@@ -302,6 +321,11 @@ class Grounder:
             self.certain.add(name, args)
             atom_id = self.ground_program.atoms.intern(atom)
             self.ground_program.facts.add(atom_id)
+        for atom in possible_hints:
+            self._possible_hints.append(atom)
+            name, args = atom[0], tuple(atom[1:])
+            if self.possible.add(name, args):
+                delta.add(name, args)
         for component_rules in self._components:
             self._ground_component(component_rules, delta)
         for constraint in self._constraints:
@@ -672,7 +696,14 @@ class Grounder:
             try:
                 for rule in rules:
                     if isinstance(rule.head, Choice):
-                        self._ground_choice_rule(rule, current)
+                        if self._choice_elements_touched(rule, current):
+                            # an element-condition relation grew: existing
+                            # instances may be missing candidates, so re-run
+                            # the rule against the full database (the
+                            # instance registry upgrades them in place)
+                            self._ground_choice_rule(rule)
+                        else:
+                            self._ground_choice_rule(rule, current)
                     else:
                         self._ground_normal_rule(rule, current)
             finally:
@@ -688,6 +719,39 @@ class Grounder:
 
     def _intern(self, atom: tuple) -> int:
         return self.ground_program.atoms.intern(atom)
+
+    # -- choice instance registry -------------------------------------------
+
+    def _rule_position(self, rule: Rule) -> int:
+        """A pickle-stable identity for ``rule`` (its index in the program).
+
+        ``id(rule)`` would not survive a pickle round trip (the persistent
+        ground cache pickles grounders), so registry keys use positions.  The
+        id->position memo itself is process-local and dropped on pickling.
+        """
+        positions = self.__dict__.get("_rule_positions")
+        if positions is None or id(rule) not in positions:
+            positions = {id(r): i for i, r in enumerate(self.program.rules)}
+            self._rule_positions = positions
+        return positions[id(rule)]
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_rule_positions", None)
+        return state
+
+    @staticmethod
+    def _substitution_key(substitution: Substitution) -> tuple:
+        return tuple(sorted(substitution.items(), key=lambda kv: kv[0]))
+
+    def _choice_elements_touched(self, rule: Rule, delta: _AtomDatabase) -> bool:
+        """True if ``delta`` extends a relation some choice element of
+        ``rule`` ranges over (so existing instances may need re-expansion)."""
+        for element in rule.head.elements:
+            for item in element.condition:
+                if isinstance(item, Literal) and delta.count(item.atom.name):
+                    return True
+        return False
 
     def _add_possible(self, name: str, args: tuple):
         """Record a derived atom as possible (and as delta when layering)."""
@@ -735,6 +799,7 @@ class Grounder:
 
     def _ground_choice_rule(self, rule: Rule, delta: Optional[_AtomDatabase] = None) -> bool:
         choice: Choice = rule.head
+        rule_position = self._rule_position(rule)
         changed = False
         for substitution, pos_atoms, neg_atoms in self._ground_body(
             rule.body, self.possible, delta
@@ -744,27 +809,49 @@ class Grounder:
                 candidates.extend(self._expand_choice_element(element, substitution))
             lower = self._evaluate_bound(choice.lower, substitution)
             upper = self._evaluate_bound(choice.upper, substitution)
-            key = (tuple(candidates), tuple(pos_atoms), tuple(neg_atoms), lower, upper)
-            if key in self._choice_keys:
-                continue
-            self._choice_keys.add(key)
-            changed = True
 
             candidate_ids = []
             for atom in candidates:
                 name, args = atom[0], tuple(atom[1:])
                 self._add_possible(name, args)
                 candidate_ids.append(self._intern(atom))
+            pos = tuple(self._intern(a) for a in pos_atoms)
+            neg = tuple(self._intern(a) for a in neg_atoms)
 
-            self.ground_program.choices.append(
-                GroundChoice(
-                    atoms=tuple(candidate_ids),
-                    pos=tuple(self._intern(a) for a in pos_atoms),
-                    neg=tuple(self._intern(a) for a in neg_atoms),
-                    lower=lower,
-                    upper=upper,
+            key = (rule_position, self._substitution_key(substitution))
+            index = self._choice_instances.get(key)
+            if index is None:
+                self._choice_instances[key] = len(self.ground_program.choices)
+                self.ground_program.choices.append(
+                    GroundChoice(
+                        atoms=tuple(candidate_ids),
+                        pos=pos,
+                        neg=neg,
+                        lower=lower,
+                        upper=upper,
+                    )
                 )
+                changed = True
+                continue
+
+            # The instance exists already.  Upgrade it in place if this
+            # (re-)derivation expanded to candidates the stored instance is
+            # missing (an element-condition relation grew since it was
+            # instantiated); keep the stored candidate order and append.
+            existing = self.ground_program.choices[index]
+            known = set(existing.atoms)
+            novel = [cid for cid in candidate_ids if cid not in known]
+            if not novel and pos == existing.pos and neg == existing.neg:
+                continue
+            self.ground_program.choices[index] = GroundChoice(
+                atoms=existing.atoms + tuple(novel),
+                pos=pos,
+                neg=neg,
+                lower=lower,
+                upper=upper,
             )
+            if novel:
+                changed = True
         return changed
 
     def _expand_choice_element(self, element, substitution: Substitution) -> List[tuple]:

@@ -20,10 +20,51 @@ enough to reproduce the paper's qualitative behaviour:
 from __future__ import annotations
 
 import inspect
-from typing import List, Type
+from typing import List, Tuple, Type
 
 from repro.spack.package import PackageBase
-from repro.spack.repo import Repository
+from repro.spack.repo import Repository, RepositoryShard, ShardedRepository
+
+#: The builtin shard layout: one shard per catalog module, ordered roughly
+#: by stability (toolchain first, applications last).  The concretization
+#: session grounds one base layer per shard in this order and caches every
+#: prefix, so edits to the *later* — more frequently churning — shards
+#: invalidate the fewest layers (an ``apps`` edit re-grounds exactly one).
+SHARD_MODULES: Tuple[str, ...] = (
+    "core",
+    "python_stack",
+    "mpi_stack",
+    "math_libs",
+    "io_libs",
+    "runtimes",
+    "tools",
+    "apps",
+)
+
+
+def _builtin_modules():
+    from repro.spack.builtin import (
+        apps,
+        core,
+        io_libs,
+        math_libs,
+        mpi_stack,
+        python_stack,
+        runtimes,
+        tools,
+    )
+
+    modules = {
+        "core": core,
+        "python_stack": python_stack,
+        "mpi_stack": mpi_stack,
+        "math_libs": math_libs,
+        "io_libs": io_libs,
+        "runtimes": runtimes,
+        "tools": tools,
+        "apps": apps,
+    }
+    return [(name, modules[name]) for name in SHARD_MODULES]
 
 
 def _module_packages(module) -> List[Type[PackageBase]]:
@@ -40,26 +81,13 @@ def _module_packages(module) -> List[Type[PackageBase]]:
 
 def all_package_classes() -> List[Type[PackageBase]]:
     """Every package class in the builtin catalog."""
-    from repro.spack.builtin import (
-        apps,
-        core,
-        io_libs,
-        math_libs,
-        mpi_stack,
-        python_stack,
-        runtimes,
-        tools,
-    )
-
     classes: List[Type[PackageBase]] = []
-    for module in (core, python_stack, mpi_stack, math_libs, io_libs, runtimes, tools, apps):
+    for _name, module in _builtin_modules():
         classes.extend(_module_packages(module))
     return classes
 
 
-def build_repository(name: str = "builtin") -> Repository:
-    """Construct a fresh :class:`Repository` with the whole builtin catalog."""
-    repo = Repository(name=name, packages=all_package_classes())
+def _set_builtin_preferences(repo: Repository) -> Repository:
     # Provider preferences (user configuration in real Spack): these drive the
     # "non-preferred providers" criteria (Table II, criteria 4 and 7).
     repo.set_provider_preference("mpi", ["mpich", "openmpi", "mvapich2", "mpilander"])
@@ -69,3 +97,26 @@ def build_repository(name: str = "builtin") -> Repository:
     repo.set_provider_preference("pkgconfig", ["pkgconf"])
     repo.set_provider_preference("fftw-api", ["fftw"])
     return repo
+
+
+def build_repository(name: str = "builtin") -> Repository:
+    """A fresh *monolithic* :class:`Repository` with the whole catalog.
+
+    Kept as the reference flavor: sharded-vs-monolithic equivalence tests
+    concretize against both and assert element-wise identical results.
+    """
+    return _set_builtin_preferences(Repository(name=name, packages=all_package_classes()))
+
+
+def build_sharded_repository(name: str = "builtin") -> ShardedRepository:
+    """A fresh :class:`ShardedRepository`, one shard per catalog module.
+
+    Same packages and preferences as :func:`build_repository`; only the
+    registration structure (and therefore the content-hash granularity and
+    the session's base-grounding layering) differs.
+    """
+    shards = [
+        RepositoryShard(shard_name, packages=_module_packages(module))
+        for shard_name, module in _builtin_modules()
+    ]
+    return _set_builtin_preferences(ShardedRepository(name=name, shards=shards))

@@ -11,16 +11,39 @@ by the hash (Section VI).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.spack.architecture import Platform, TARGETS, default_platform
 from repro.spack.compilers import CompilerRegistry
 from repro.spack.errors import SpackError
-from repro.spack.repo import Repository
+from repro.spack.repo import Repository, ShardedRepository
 from repro.spack.spec import Spec
 from repro.spack.version import Version, parse_version_constraint
 
 Fact = Tuple
+
+
+@dataclass
+class EncodedLayer:
+    """One slice of a layered spec-independent encoding.
+
+    ``facts`` is the layer's contribution to the base fact list and
+    ``hints`` its layer-local possibility seeds (``root(P)`` for the
+    packages the layer introduces), handed to
+    :meth:`repro.asp.grounder.Grounder.ground_delta` so node/version/variant
+    rules for those packages instantiate in *this* layer rather than up
+    front.  ``shard`` names the originating repository shard (None for the
+    platform/compiler context layer); the final layer additionally carries
+    the catalog-wide linking facts (virtual providers, installed store,
+    deferred constraint-membership facts) and is marked ``links=True``.
+    """
+
+    name: str
+    shard: Optional[str] = None
+    links: bool = False
+    facts: List[Fact] = field(default_factory=list)
+    hints: List[Fact] = field(default_factory=list)
 
 
 class EncodingStatistics:
@@ -155,6 +178,83 @@ class ProblemEncoder:
         """
         self._encode_version_constraints()
         self._encode_compiler_constraints()
+
+    def encode_base_layers(self, specs: Optional[Sequence[Spec]] = None) -> List[EncodedLayer]:
+        """The spec-independent layer as a *stack* of per-shard slices.
+
+        Requires a :class:`~repro.spack.repo.ShardedRepository`.  The union
+        of all returned layers' facts equals one :meth:`encode_base` pass
+        over an equivalent monolithic repository (modulo fact order and
+        condition-id assignment, which the solver is insensitive to): first a
+        *context* layer (platform + compilers), then one layer per shard
+        with a possible package (its package declarations plus ``root``
+        possibility hints for them), with the catalog-wide *linking* facts —
+        virtual providers, installed-store hashes, deferred
+        constraint-membership facts — folded into the final layer, whose
+        cache key already covers every shard hash.
+
+        Grounded incrementally (one ``ground_delta`` per layer) and cached
+        per chain prefix by the session, this is what makes editing one
+        shard re-ground only that shard's layer; cross-shard dependency
+        edges that point at *later* layers are correct because the grounder
+        re-expands affected choice instances in place (see
+        :class:`repro.asp.grounder.Grounder`).
+        """
+        repo = self.repo
+        if not isinstance(repo, ShardedRepository):
+            raise SpackError("encode_base_layers requires a ShardedRepository")
+        if specs is not None:
+            self._determine_possible_packages(specs)
+        else:
+            names = repo.all_package_names()
+            self._possible = repo.possible_dependencies(*names)
+            self.stats.possible_packages = len(self._possible)
+
+        layers: List[EncodedLayer] = []
+        mark = 0
+
+        def close_layer(layer: EncodedLayer) -> EncodedLayer:
+            nonlocal mark
+            layer.facts = self.facts[mark:]
+            mark = len(self.facts)
+            layers.append(layer)
+            return layer
+
+        installed = self._encode_context()
+        close_layer(EncodedLayer("context"))
+
+        included = []
+        for shard in repo.shards:
+            names = sorted(name for name in self._possible if name in shard)
+            if names:
+                included.append((shard, names))
+        for index, (shard, names) in enumerate(included):
+            for name in names:
+                self._encode_package(name)
+            links = index == len(included) - 1
+            if links:
+                self._encode_links(installed)
+            close_layer(
+                EncodedLayer(
+                    shard.name,
+                    shard=shard.name,
+                    links=links,
+                    hints=[("root", name) for name in names],
+                )
+            )
+        if not included:
+            self._encode_links(installed)
+            close_layer(EncodedLayer("link", links=True))
+
+        self.stats.facts = len(self.facts)
+        return layers
+
+    def _encode_links(self, installed: Sequence[Spec]):
+        """The catalog-wide facts that must follow every package layer."""
+        self._encode_virtuals()
+        for installed_spec in installed:
+            self._encode_installed(installed_spec)
+        self._encode_constraint_support()
 
     def fork(self) -> "ProblemEncoder":
         """A child encoder for one solve's *spec-dependent* layer.

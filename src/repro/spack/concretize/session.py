@@ -74,9 +74,9 @@ from repro.spack.concretize.criteria import (
     CRITERIA,
     NUMBER_OF_BUILDS_LEVEL,
 )
-from repro.spack.concretize.encoder import ProblemEncoder
+from repro.spack.concretize.encoder import EncodedLayer, ProblemEncoder
 from repro.spack.concretize.logic import logic_program
-from repro.spack.repo import Repository, builtin_repository
+from repro.spack.repo import Repository, ShardedRepository, builtin_repository
 from repro.spack.spec import Spec
 from repro.spack.spec_parser import parse_spec
 from repro.spack.store import (
@@ -89,39 +89,6 @@ from repro.spack.store import (
 # ---------------------------------------------------------------------------
 # Content hashing
 # ---------------------------------------------------------------------------
-
-
-def _describe_package(cls) -> Tuple:
-    """A stable, hashable description of one package class."""
-    versions = tuple(
-        (str(version), decl.deprecated, decl.preferred)
-        for version, decl in sorted(cls.versions.items(), key=lambda kv: str(kv[0]))
-    )
-    variants = tuple(
-        (name, str(decl.default), tuple(decl.values), decl.multi, str(decl.when))
-        for name, decl in sorted(cls.variants.items())
-    )
-    dependencies = tuple(
-        sorted((str(dep.spec), str(dep.when)) for dep in cls.dependencies)
-    )
-    conflicts = tuple(
-        sorted((str(c.spec), str(c.when)) for c in cls.conflict_decls)
-    )
-    provided = tuple(
-        sorted((str(p.virtual), str(p.when)) for p in cls.provided)
-    )
-    return (cls.name, versions, variants, dependencies, conflicts, provided)
-
-
-def _describe_repository(repo: Repository) -> Tuple:
-    packages = tuple(
-        _describe_package(repo.get(name)) for name in sorted(repo.all_package_names())
-    )
-    preferences = tuple(
-        (virtual, tuple(sorted(repo.provider_weights(virtual).items())))
-        for virtual in sorted(repo.virtuals())
-    )
-    return (packages, preferences)
 
 
 def _describe_compilers(compilers: CompilerRegistry) -> Tuple:
@@ -148,6 +115,39 @@ def _describe_criteria() -> Tuple:
     )
 
 
+def _context_description(
+    platform: Platform,
+    compilers: CompilerRegistry,
+    config: SolverConfig,
+    reuse: bool,
+) -> Tuple:
+    """Everything but the repository that the shared program depends on."""
+    return (
+        _describe_platform(platform),
+        _describe_compilers(compilers),
+        repr(config),
+        _describe_criteria(),
+        logic_program(),
+        bool(reuse),
+    )
+
+
+def compute_context_token(
+    platform: Platform,
+    compilers: CompilerRegistry,
+    config: SolverConfig,
+    reuse: bool = False,
+) -> str:
+    """Digest of the repository-independent shared-program inputs.
+
+    Sharded sessions key their per-shard ground layers on this token plus
+    the chain of shard hashes, so a single-shard edit leaves every other
+    layer's key — and its cached grounding — untouched.
+    """
+    description = _context_description(platform, compilers, config, reuse)
+    return hashlib.sha256(repr(description).encode("utf-8")).hexdigest()[:32]
+
+
 def compute_content_hash(
     repo: Repository,
     platform: Platform,
@@ -162,15 +162,16 @@ def compute_content_hash(
     compiler, a different solver/criteria preset — changes the hash and
     bypasses every cached artifact derived from the old inputs.  (Installed
     stores are hashed separately, per solve, since they mutate mid-session.)
+
+    The repository contributes through :meth:`Repository.content_hash`,
+    which for a :class:`~repro.spack.repo.ShardedRepository` is the
+    Merkle-style combination of its per-shard hashes — editing one shard
+    re-hashes only that shard, and the layers above see exactly which shard
+    moved (:meth:`~repro.spack.repo.ShardedRepository.shard_hashes`).
     """
     description = (
-        _describe_repository(repo),
-        _describe_platform(platform),
-        _describe_compilers(compilers),
-        repr(config),
-        _describe_criteria(),
-        logic_program(),
-        bool(reuse),
+        repo.content_hash(),
+        _context_description(platform, compilers, config, reuse),
     )
     digest = hashlib.sha256(repr(description).encode("utf-8"))
     return digest.hexdigest()[:32]
@@ -211,6 +212,17 @@ class _GroundedBase:
     Holds the base :class:`ProblemEncoder` (forked per solve to continue its
     condition-id sequence) and the :class:`PreparedProgram` whose grounding is
     forked per solve.
+
+    For a monolithic :class:`Repository` the whole base is encoded and
+    grounded in one shot.  For a :class:`~repro.spack.repo.ShardedRepository`
+    it is built as a *chain* of prepared programs — a context layer plus one
+    layer per shard (:meth:`ProblemEncoder.encode_base_layers`), each
+    ``extend``-ed incrementally onto the previous one and cached per chain
+    prefix (in memory and, with a ``cache_dir``, on disk) — so a session
+    over an edited shard replays every unaffected prefix and re-grounds only
+    the layers from the edited shard on.  The encoder always re-runs in full
+    (fact generation is cheap and deterministic); only *grounding* is
+    skipped on warm prefixes.
     """
 
     def __init__(self, session: "ConcretizationSession", abstract: Sequence[Spec]):
@@ -221,6 +233,17 @@ class _GroundedBase:
             store=session.store,
             reuse=session.reuse,
         )
+        #: layer bookkeeping (all zero on the monolithic path)
+        self.layers_total = 0
+        self.layers_grounded = 0
+        self.layers_replayed_memory = 0
+        self.layers_replayed_disk = 0
+        if isinstance(session.repo, ShardedRepository):
+            self._build_layered(session, abstract)
+        else:
+            self._build_monolithic(session, abstract)
+
+    def _build_monolithic(self, session: "ConcretizationSession", abstract: Sequence[Spec]):
         base_facts = self.encoder.encode_base(abstract)
         # Ground the base as if any possible package could be a root: the
         # `root(P)` possibility seeds let every node/version/variant rule
@@ -232,8 +255,55 @@ class _GroundedBase:
             logic_program(), base_facts, config=session.config, possible_hints=hints
         )
 
+    def _build_layered(self, session: "ConcretizationSession", abstract: Sequence[Spec]):
+        layers = self.encoder.encode_base_layers(abstract)
+        self.layers_total = len(layers)
+        keys = session._layer_keys(layers, self.encoder)
+
+        # Longest warm prefix first (deepest key wins; a fully warm chain is
+        # one lookup), then extend with the remaining layers, registering and
+        # persisting every freshly grounded prefix.
+        prepared: Optional[PreparedProgram] = None
+        start = 0
+        for index in range(len(layers) - 1, -1, -1):
+            found = session._lookup_layer(keys[index])
+            if found is None:
+                continue
+            prepared, source = found
+            start = index + 1
+            if source == "disk":
+                self.layers_replayed_disk = start
+            else:
+                self.layers_replayed_memory = start
+            # write-through, so warm starts find the replayed prefix on disk
+            session._persist_layer(keys[index], prepared)
+            break
+        for index in range(start, len(layers)):
+            layer = layers[index]
+            if prepared is None:
+                prepared = PreparedProgram(
+                    logic_program(),
+                    layer.facts,
+                    config=session.config,
+                    possible_hints=layer.hints,
+                )
+            else:
+                prepared = prepared.extend(layer.facts, possible_hints=layer.hints)
+            self.layers_grounded += 1
+            session._remember_layer(keys[index], prepared)
+            session._persist_layer(keys[index], prepared)
+        self.prepared = prepared
+
     def statistics(self) -> Dict[str, object]:
-        return self.prepared.statistics()
+        stats = self.prepared.statistics()
+        if self.layers_total:
+            stats["layers"] = {
+                "total": self.layers_total,
+                "grounded": self.layers_grounded,
+                "replayed_memory": self.layers_replayed_memory,
+                "replayed_disk": self.layers_replayed_disk,
+            }
+        return stats
 
 
 #: Process-wide memo of grounded bases, keyed by
@@ -241,10 +311,20 @@ class _GroundedBase:
 _SHARED_BASES: "OrderedDict[Tuple, _GroundedBase]" = OrderedDict()
 _SHARED_BASES_LIMIT = 8
 
+#: Process-wide memo of layered base *prefixes* (sharded repositories only),
+#: keyed by (context token, store token, providers digest, possible-package
+#: family, chain of (layer name, shard hash) pairs).  Editing one shard
+#: leaves every shorter prefix key valid, so rebuilding a base after the
+#: edit replays the longest warm prefix and grounds only the layers above
+#: it.  Sized for several families x ~9 layers each.
+_SHARED_LAYERS: "OrderedDict[Tuple, PreparedProgram]" = OrderedDict()
+_SHARED_LAYERS_LIMIT = 64
+
 
 def clear_shared_bases() -> None:
     """Drop all memoized grounded bases (mainly for tests and benchmarks)."""
     _SHARED_BASES.clear()
+    _SHARED_LAYERS.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -295,6 +375,12 @@ class SessionStatistics:
     base_cache_hits: int = 0
     #: how many grounded bases were loaded from the on-disk ground cache
     base_disk_hits: int = 0
+    #: sharded repositories: shard/context layers this session delta-ground
+    shard_layers_grounded: int = 0
+    #: sharded repositories: layers replayed from the in-memory prefix memo
+    shard_layers_replayed: int = 0
+    #: sharded repositories: layers replayed from the on-disk ground cache
+    shard_layers_disk: int = 0
     #: solves that forked the base and ground only their delta facts
     delta_groundings: int = 0
     #: solves answered straight from the solve cache (no grounding at all)
@@ -310,6 +396,9 @@ class SessionStatistics:
             "base_groundings": self.base_groundings,
             "base_cache_hits": self.base_cache_hits,
             "base_disk_hits": self.base_disk_hits,
+            "shard_layers_grounded": self.shard_layers_grounded,
+            "shard_layers_replayed": self.shard_layers_replayed,
+            "shard_layers_disk": self.shard_layers_disk,
             "delta_groundings": self.delta_groundings,
             "solve_cache_hits": self.solve_cache_hits,
             "solve_cache_misses": self.solve_cache_misses,
@@ -341,6 +430,11 @@ class ConcretizationSession:
       (the default) for purely in-memory operation; see ``docs/CACHING.md``;
     * ``persist_ground`` — set False to keep the solve cache on disk but
       skip persisting grounded bases (they are large);
+    * ``cache_max_entries`` / ``cache_max_bytes`` — optional disk budgets
+      for the persistent layers (applied to each of the solve and ground
+      stores): on every write the least-recently-used entries beyond the
+      budget are pruned, so long-lived cache directories stop growing
+      without bound (see ``docs/CACHING.md``);
     * ``workers`` — number of solver workers for :meth:`solve`.  1 (the
       default) solves sequentially; ``N > 1`` fans cache-missing specs out
       to a pool after grounding the shared base; ``"auto"`` uses the
@@ -362,6 +456,8 @@ class ConcretizationSession:
         share_ground_cache: bool = True,
         cache_dir: Optional[str] = None,
         persist_ground: bool = True,
+        cache_max_entries: Optional[int] = None,
+        cache_max_bytes: Optional[int] = None,
         workers: Union[int, str] = 1,
         worker_backend: str = "auto",
     ):
@@ -375,11 +471,19 @@ class ConcretizationSession:
         if solve_cache is not None:
             self.solve_cache = solve_cache
         elif cache_dir is not None:
-            self.solve_cache = PersistentSolveCache(cache_dir)
+            self.solve_cache = PersistentSolveCache(
+                cache_dir,
+                max_disk_entries=cache_max_entries,
+                max_disk_bytes=cache_max_bytes,
+            )
         else:
             self.solve_cache = SolveCache()
         self.ground_cache: Optional[PersistentGroundCache] = (
-            PersistentGroundCache(cache_dir)
+            PersistentGroundCache(
+                cache_dir,
+                max_entries=cache_max_entries,
+                max_bytes=cache_max_bytes,
+            )
             if cache_dir is not None and persist_ground
             else None
         )
@@ -392,8 +496,13 @@ class ConcretizationSession:
         self.worker_backend = worker_backend
         self.stats = SessionStatistics()
         self._content_hash: Optional[str] = None
+        self._context_token: Optional[str] = None
         self._last_base: Optional[_GroundedBase] = None
         self._local_bases: "OrderedDict[Tuple, _GroundedBase]" = OrderedDict()
+        # session-local memo of layered base prefixes (sharded repositories);
+        # the process-wide _SHARED_LAYERS is consulted too unless
+        # share_ground_cache is False
+        self._local_layers: "OrderedDict[Tuple, PreparedProgram]" = OrderedDict()
         # per-in-flight-batch base-family counts: _fan_out registers each
         # batch's demand so the local base memo cannot LRU-evict a
         # pre-grounded base while any concurrent solve() still needs it
@@ -428,6 +537,88 @@ class ConcretizationSession:
             return self.store.content_hash()
         return None
 
+    def context_token(self) -> str:
+        """Digest of the repository-independent shared-program inputs
+        (memoized; see :func:`compute_context_token`)."""
+        if self._context_token is None:
+            self._context_token = compute_context_token(
+                self.platform, self.compilers, self.config, self.reuse
+            )
+        return self._context_token
+
+    # -- layered bases (sharded repositories) ---------------------------
+
+    def _layer_keys(
+        self, layers: Sequence[EncodedLayer], encoder: ProblemEncoder
+    ) -> List[Tuple]:
+        """One cache key per chain *prefix* of a layered base.
+
+        The key of prefix ``0..i`` embeds everything its grounding depends
+        on: the context token, the store token (installed versions leak into
+        shard layers under reuse), the provider/preference tables (weights
+        shift when any provider registers, even outside the possible set),
+        the possible-package family, and the ``(layer name, shard hash)``
+        chain up to ``i``.  An edit to shard *k* therefore changes exactly
+        the keys of prefixes ``k..n`` — everything below stays warm.
+        """
+        repo: ShardedRepository = self.repo
+        shard_hashes = dict(repo.shard_hashes())
+        prefix = (
+            "shard-layer",
+            self.context_token(),
+            self._store_token(),
+            repo.providers_digest(),
+            frozenset(encoder.possible_packages),
+        )
+        keys: List[Tuple] = []
+        chain: List[Tuple[str, str]] = []
+        for layer in layers:
+            chain.append((layer.name, shard_hashes.get(layer.shard, "")))
+            keys.append(prefix + (tuple(chain),))
+        return keys
+
+    def _lookup_layer(self, key: Tuple) -> Optional[Tuple[PreparedProgram, str]]:
+        """A memoized or persisted prefix program: (program, source) or None."""
+        prepared = self._local_layers.get(key)
+        if prepared is not None:
+            self._local_layers.move_to_end(key)
+            return prepared, "memory"
+        if self.share_ground_cache:
+            prepared = _SHARED_LAYERS.get(key)
+            if prepared is not None:
+                _SHARED_LAYERS.move_to_end(key)
+                self._local_layers[key] = prepared
+                return prepared, "memory"
+        if self.ground_cache is not None:
+            loaded = self.ground_cache.get(key)
+            if isinstance(loaded, PreparedProgram):  # reject foreign payloads
+                self._ground_persisted.add(key)
+                self._remember_layer(key, loaded)
+                return loaded, "disk"
+        return None
+
+    def _remember_layer(self, key: Tuple, prepared: PreparedProgram) -> None:
+        self._local_layers[key] = prepared
+        while len(self._local_layers) > _SHARED_LAYERS_LIMIT:
+            self._local_layers.popitem(last=False)
+        if self.share_ground_cache:
+            _SHARED_LAYERS[key] = prepared
+            while len(_SHARED_LAYERS) > _SHARED_LAYERS_LIMIT:
+                _SHARED_LAYERS.popitem(last=False)
+
+    def _persist_layer(self, key: Tuple, prepared: PreparedProgram) -> None:
+        """Write a prefix program through to disk (validated, self-healing).
+
+        Mirrors the monolithic write-through: even a prefix replayed from a
+        process-wide memo is persisted if the directory lacks a valid entry,
+        so warm starts always find every prefix this session used.
+        """
+        if self.ground_cache is None or key in self._ground_persisted:
+            return
+        if not isinstance(self.ground_cache.get(key), PreparedProgram):
+            self.ground_cache.put(key, prepared)
+        self._ground_persisted.add(key)
+
     def statistics(self) -> Dict[str, object]:
         """Session counters plus the active base's grounder statistics."""
         result: Dict[str, object] = dict(self.stats.as_dict())
@@ -459,6 +650,7 @@ class ConcretizationSession:
         slows the search down.
         """
         key = self._base_key(abstract)
+        sharded = isinstance(self.repo, ShardedRepository)
         base = self._local_bases.get(key)
         if base is not None:
             self._local_bases.move_to_end(key)
@@ -471,7 +663,7 @@ class ConcretizationSession:
                 _SHARED_BASES.move_to_end(key)
                 self.stats.base_cache_hits += 1
         probed_disk = False
-        if base is None and self.ground_cache is not None:
+        if base is None and self.ground_cache is not None and not sharded:
             probed_disk = True
             loaded = self.ground_cache.get(key)
             if isinstance(loaded, _GroundedBase):  # reject foreign payloads
@@ -480,13 +672,32 @@ class ConcretizationSession:
                 self._ground_persisted.add(key)
         if base is None:
             base = _GroundedBase(self, abstract)
-            self.stats.base_groundings += 1
-        if self.ground_cache is not None and key not in self._ground_persisted:
+            if base.layers_total:
+                # layered construction (sharded repository): account at
+                # layer granularity — a fully replayed chain grounds nothing
+                self.stats.shard_layers_grounded += base.layers_grounded
+                self.stats.shard_layers_replayed += base.layers_replayed_memory
+                self.stats.shard_layers_disk += base.layers_replayed_disk
+                if base.layers_grounded:
+                    self.stats.base_groundings += 1
+                elif base.layers_replayed_disk:
+                    self.stats.base_disk_hits += 1
+                else:
+                    self.stats.base_cache_hits += 1
+            else:
+                self.stats.base_groundings += 1
+        if (
+            self.ground_cache is not None
+            and not sharded
+            and key not in self._ground_persisted
+        ):
             # Write through even when the base came from an in-memory memo
             # (e.g. grounded by a cache_dir-less session): warm starts must
             # find every base this session used on disk.  The probe is a
             # *validated* load (not a bare existence check), so corrupted or
             # version-skewed entries get overwritten — the cache self-heals.
+            # (Sharded bases persist per chain prefix instead, inside
+            # _GroundedBase._build_layered.)
             if probed_disk or not isinstance(
                 self.ground_cache.get(key), _GroundedBase
             ):

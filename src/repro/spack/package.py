@@ -94,9 +94,6 @@ class PackageBase(metaclass=PackageMeta):
     conflict_decls: List[ConflictDecl] = []
     provided: List[ProvidesDecl] = []
 
-    #: set when the class is registered with a repository
-    repository = None
-
     def __init__(self, spec: Optional[Spec] = None):
         self.spec = spec
 

@@ -11,15 +11,65 @@ The repository answers the questions the concretizer needs:
   is the quantity on the x-axis of Figures 7a–7c in the paper, because it
   measures the size of the fact/ground-program the solver has to consider
   rather than the size of the final answer.
+
+Two flavors exist:
+
+* :class:`Repository` — the monolithic registry: one namespace, one content
+  hash over the whole catalog, so *any* package edit invalidates every cached
+  artifact derived from it;
+* :class:`ShardedRepository` — the same API composed from
+  :class:`RepositoryShard` pieces (one shard per builtin module for the E4S
+  catalog).  Every shard carries its own stable content hash
+  (:meth:`RepositoryShard.content_hash`, memoized against a mutation
+  generation), and the repository-level hash is a Merkle-style combination of
+  them, so callers above (the concretization session's layered base grounding
+  and its persistent caches, see ``docs/CACHING.md``) can invalidate at shard
+  granularity: editing one shard re-grounds and re-persists only that
+  shard's fact layer.
 """
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.spack.errors import PackageError, UnknownPackageError
 from repro.spack.package import PackageBase
 from repro.spack.spec import Spec
+
+
+def describe_package(cls: Type[PackageBase]) -> Tuple:
+    """A stable, hashable description of one package class.
+
+    Covers everything the concretizer's fact encoding can see — versions,
+    variants, dependencies, conflicts, provided virtuals — so two classes
+    with equal descriptions produce identical facts, and any metadata edit
+    changes the description.  Shard and repository content hashes are
+    digests over these descriptions.
+    """
+    versions = tuple(
+        (str(version), decl.deprecated, decl.preferred)
+        for version, decl in sorted(cls.versions.items(), key=lambda kv: str(kv[0]))
+    )
+    variants = tuple(
+        (name, str(decl.default), tuple(decl.values), decl.multi, str(decl.when))
+        for name, decl in sorted(cls.variants.items())
+    )
+    dependencies = tuple(
+        sorted((str(dep.spec), str(dep.when)) for dep in cls.dependencies)
+    )
+    conflicts = tuple(
+        sorted((str(c.spec), str(c.when)) for c in cls.conflict_decls)
+    )
+    provided = tuple(
+        sorted((str(p.virtual), str(p.when)) for p in cls.provided)
+    )
+    return (cls.name, versions, variants, dependencies, conflicts, provided)
+
+
+def _digest(description: object) -> str:
+    return hashlib.sha256(repr(description).encode("utf-8")).hexdigest()[:32]
 
 
 class Repository:
@@ -38,12 +88,16 @@ class Repository:
     # ------------------------------------------------------------------
 
     def add(self, cls: Type[PackageBase]) -> Type[PackageBase]:
-        """Register a package class (usable as a decorator)."""
+        """Register a package class (usable as a decorator).
+
+        The class itself is left untouched: a package class may be registered
+        in any number of repositories (or shards, or test fixtures) without
+        them corrupting each other through a class-level back-pointer.
+        """
         name = cls.name
         if name in self._packages and self._packages[name] is not cls:
             raise PackageError(f"duplicate package {name!r} in repository {self.name!r}")
         self._packages[name] = cls
-        cls.repository = self
         for virtual in cls.provided_virtuals():
             providers = self._providers.setdefault(virtual, [])
             if name not in providers:
@@ -99,6 +153,39 @@ class Repository:
     def provider_weights(self, virtual: str) -> Dict[str, int]:
         """0 = most preferred provider (criterion 4/7 in Table II)."""
         return {name: weight for weight, name in enumerate(self.providers_for(virtual))}
+
+    # ------------------------------------------------------------------
+    # Content hashing (cache keys for the concretization session layers)
+    # ------------------------------------------------------------------
+
+    def providers_digest(self) -> str:
+        """Digest of the full virtual/provider/preference tables.
+
+        Part of every layer cache key of a sharded session: provider
+        *weights* enumerate all registered providers of a virtual, so they
+        can shift when any shard (even one outside the current possible-
+        package set) gains or loses a provider, or when preferences change.
+        """
+        description = tuple(
+            (virtual, tuple(sorted(self.provider_weights(virtual).items())))
+            for virtual in sorted(self._providers)
+        )
+        return _digest(description)
+
+    def content_hash(self) -> str:
+        """A stable digest of everything the fact encoding reads from here.
+
+        Two repositories with equal content hashes produce identical
+        spec-independent fact layers, so grounded programs and solve-cache
+        entries keyed on the hash may be shared; any package or preference
+        edit changes it.  The monolithic flavor hashes the whole catalog;
+        :meth:`ShardedRepository.content_hash` overrides this with a
+        Merkle-style combination of per-shard hashes.
+        """
+        packages = tuple(
+            describe_package(self._packages[name]) for name in sorted(self._packages)
+        )
+        return _digest((packages, self.providers_digest()))
 
     # ------------------------------------------------------------------
     # Possible dependencies (Figures 7a-7c x-axis)
@@ -170,15 +257,212 @@ class Repository:
         return edges
 
 
+class RepositoryShard:
+    """One independently hashed slice of a sharded repository.
+
+    A shard is a named set of package classes with its own stable content
+    hash, memoized against a mutation generation so repeated hashing is free
+    and any :meth:`add` transparently refreshes it.  Shards are the unit of
+    cache invalidation above the repository: the concretization session
+    grounds one fact layer per shard and keys it on the shard hash, so
+    editing a package re-grounds (and re-persists) only the owning shard's
+    layer.
+
+    A shard may live standalone (e.g. in tests) or attached to a
+    :class:`ShardedRepository`; attached shards forward every registration to
+    the owner so the composed lookup tables can never drift out of sync.
+    """
+
+    def __init__(self, name: str, packages: Iterable[Type[PackageBase]] = ()):
+        self.name = name
+        self._packages: Dict[str, Type[PackageBase]] = {}
+        self._generation = 0
+        self._hash_cache: Optional[Tuple[int, str]] = None
+        self._owner: Optional["ShardedRepository"] = None
+        for cls in packages:
+            self.add(cls)
+
+    def add(self, cls: Type[PackageBase]) -> Type[PackageBase]:
+        """Register a package class in this shard (usable as a decorator)."""
+        name = cls.name
+        existing = self._packages.get(name)
+        if existing is cls:
+            return cls
+        if existing is not None:
+            raise PackageError(f"duplicate package {name!r} in shard {self.name!r}")
+        if self._owner is not None:
+            self._owner._register(cls, self)
+        self._packages[name] = cls
+        self._generation += 1
+        return cls
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def __iter__(self):
+        return iter(sorted(self._packages))
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+    def get(self, name: str) -> Type[PackageBase]:
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise UnknownPackageError(name, self.name) from None
+
+    def package_names(self) -> List[str]:
+        return sorted(self._packages)
+
+    def package_classes(self) -> List[Type[PackageBase]]:
+        return [self._packages[name] for name in sorted(self._packages)]
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter bumped on every registration (hash memo token)."""
+        return self._generation
+
+    def content_hash(self) -> str:
+        """Digest of this shard's package metadata (memoized per generation).
+
+        Stable across processes and across construction order: packages are
+        hashed in sorted-name order through :func:`describe_package`.
+        """
+        cached = self._hash_cache
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        value = _digest(
+            tuple(describe_package(self._packages[name]) for name in sorted(self._packages))
+        )
+        self._hash_cache = (self._generation, value)
+        return value
+
+    def __repr__(self):
+        return f"<RepositoryShard {self.name!r} with {len(self)} packages>"
+
+
+class ShardedRepository(Repository):
+    """A :class:`Repository` composed of independently hashed shards.
+
+    Lookup behavior is exactly the base class's — the concretizer, encoder,
+    and tests are agnostic to sharding — but registration is routed through
+    :class:`RepositoryShard` objects, and :meth:`content_hash` becomes a
+    Merkle-style combination of the per-shard hashes: cheap to recompute
+    after an edit (only the touched shard re-hashes) and structured so the
+    layers above can tell *which* shard changed (:meth:`shard_hashes`).
+
+    Provider preferences remain repository-level configuration; they are
+    folded into the composed hash (and into :meth:`providers_digest`), not
+    into any shard's.
+    """
+
+    def __init__(self, name: str = "builtin", shards: Iterable[RepositoryShard] = ()):
+        super().__init__(name=name)
+        self._shards: "OrderedDict[str, RepositoryShard]" = OrderedDict()
+        self._shard_of: Dict[str, str] = {}
+        for shard in shards:
+            self.add_shard(shard)
+
+    # ------------------------------------------------------------------
+    # Shard management
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> List[RepositoryShard]:
+        """The shards in their stable layering order (insertion order)."""
+        return list(self._shards.values())
+
+    def shard(self, name: str) -> RepositoryShard:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise PackageError(
+                f"repository {self.name!r} has no shard named {name!r}"
+            ) from None
+
+    def add_shard(self, shard: RepositoryShard) -> RepositoryShard:
+        """Attach a shard, registering all of its packages."""
+        if shard.name in self._shards:
+            raise PackageError(
+                f"duplicate shard {shard.name!r} in repository {self.name!r}"
+            )
+        if shard._owner is not None:
+            raise PackageError(
+                f"shard {shard.name!r} is already attached to a repository"
+            )
+        for cls in shard.package_classes():
+            self._register(cls, shard)
+        self._shards[shard.name] = shard
+        shard._owner = self
+        return shard
+
+    def _register(self, cls: Type[PackageBase], shard: RepositoryShard):
+        """Fold one shard registration into the composed lookup tables."""
+        owner = self._shard_of.get(cls.name)
+        if owner is not None and owner != shard.name:
+            raise PackageError(
+                f"package {cls.name!r} is already provided by shard {owner!r} "
+                f"(cannot also register it in {shard.name!r})"
+            )
+        super().add(cls)
+        self._shard_of[cls.name] = shard.name
+
+    def add(
+        self, cls: Type[PackageBase], shard: Optional[str] = None
+    ) -> Type[PackageBase]:
+        """Register a package class, routed into ``shard`` (default: the
+        last shard, so generic ``repo.add(cls)`` callers keep working)."""
+        if not self._shards:
+            self.add_shard(RepositoryShard("default"))
+        target = self._shards[shard] if shard is not None else self.shards[-1]
+        return target.add(cls)
+
+    def shard_of(self, package_name: str) -> RepositoryShard:
+        """The shard owning ``package_name``."""
+        try:
+            return self._shards[self._shard_of[package_name]]
+        except KeyError:
+            raise UnknownPackageError(package_name, self.name) from None
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def shard_hashes(self) -> Tuple[Tuple[str, str], ...]:
+        """``(shard name, shard content hash)`` pairs in layering order."""
+        return tuple((shard.name, shard.content_hash()) for shard in self.shards)
+
+    def content_hash(self) -> str:
+        """Merkle-style combination of shard hashes + provider tables.
+
+        Editing one shard re-hashes only that shard (the others replay their
+        memoized digests), and the composed value changes whenever any shard
+        hash, the shard order, or the provider/preference tables change.
+        """
+        return _digest(("sharded", self.shard_hashes(), self.providers_digest()))
+
+    def __repr__(self):
+        return (
+            f"<ShardedRepository {self.name!r} with {len(self)} packages "
+            f"in {len(self._shards)} shards>"
+        )
+
+
 # A process-wide default repository that the builtin packages register into.
 _GLOBAL_REPO: Optional[Repository] = None
 
 
 def builtin_repository(refresh: bool = False) -> Repository:
-    """The builtin E4S-style repository (lazily constructed singleton)."""
+    """The builtin E4S-style repository (lazily constructed singleton).
+
+    Sharded (one :class:`RepositoryShard` per builtin module) since the
+    sharded-repository refactor, so sessions over it ground incrementally
+    and invalidate per shard; the flat flavor remains available through
+    :func:`repro.spack.builtin.build_repository`.
+    """
     global _GLOBAL_REPO
     if _GLOBAL_REPO is None or refresh:
-        from repro.spack.builtin import build_repository
+        from repro.spack.builtin import build_sharded_repository
 
-        _GLOBAL_REPO = build_repository()
+        _GLOBAL_REPO = build_sharded_repository()
     return _GLOBAL_REPO

@@ -35,6 +35,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from collections import OrderedDict
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
@@ -47,6 +48,11 @@ from repro.spack.spec_parser import parse_spec
 #: treat any other version as a miss, so old and new code can share one cache
 #: directory without ever exchanging garbage.
 CACHE_FORMAT_VERSION = 1
+
+#: Age after which an orphaned ``.tmp`` file (an interrupted writer's
+#: leftover) may be reaped by budgeted pruning; generous enough that no
+#: live writer can still own it.
+_STALE_TMP_SECONDS = 3600
 
 
 class Database:
@@ -296,19 +302,37 @@ class _DiskCacheLayer:
     * ``("miss", None)`` — absent, version-skewed, or foreign-key file
       (expected situations, not corruption);
     * ``("error", None)`` — unreadable or undecodable file (corruption).
+
+    With ``max_entries`` / ``max_bytes`` set, every successful write prunes
+    the directory back under both budgets in least-recently-used order
+    (recency is file mtime, refreshed on every hit).  The entry just written
+    is never pruned — even alone over ``max_bytes`` — so a put followed by a
+    get can never miss; each eviction is a single atomic unlink and every
+    filesystem hiccup (concurrent pruners, vanished files) is tolerated.
     """
 
-    def __init__(self, cache_dir: str, subdir: str, suffix: str, codec):
+    def __init__(
+        self,
+        cache_dir: str,
+        subdir: str,
+        suffix: str,
+        codec,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.directory = os.path.join(cache_dir, subdir)
         self.suffix = suffix
         self.codec = codec
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
 
     def path_for(self, token: str) -> str:
         return os.path.join(self.directory, _cache_file_digest(token) + self.suffix)
 
     def load(self, token: str) -> Tuple[str, object]:
+        path = self.path_for(token)
         try:
-            with open(self.path_for(token), "rb") as handle:
+            with open(path, "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
             return ("miss", None)
@@ -324,18 +348,77 @@ class _DiskCacheLayer:
             or envelope.get("key") != token
         ):
             return ("miss", None)
+        try:
+            os.utime(path)  # refresh LRU recency (best effort)
+        except OSError:
+            pass
         return ("hit", envelope.get("payload"))
 
-    def store(self, token: str, payload) -> bool:
-        """Best-effort write; True on success, False on any failure."""
+    def store(self, token: str, payload) -> Tuple[bool, int]:
+        """Best-effort write; (True on success, entries pruned)."""
         try:
             data = self.codec.dumps(
                 {"version": CACHE_FORMAT_VERSION, "key": token, "payload": payload}
             )
-            _atomic_write_bytes(self.path_for(token), data)
-            return True
+            path = self.path_for(token)
+            _atomic_write_bytes(path, data)
         except Exception:
-            return False
+            return (False, 0)
+        return (True, self._prune(keep=path))
+
+    def _prune(self, keep: str) -> int:
+        """Evict least-recently-used entries beyond the configured budgets.
+
+        ``keep`` (the entry just written) is exempt: it always survives and
+        its size still counts against ``max_bytes``, so everything *else*
+        shrinks around it.  Races with concurrent writers/pruners are benign
+        — unlinking is atomic and already-gone files are skipped.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return 0
+        stale_tmp_before = time.time() - _STALE_TMP_SECONDS
+        entries = []  # (mtime, size, path), oldest first after sorting
+        total_bytes = 0
+        count = 0
+        try:
+            with os.scandir(self.directory) as scan:
+                for entry in scan:
+                    if not entry.name.endswith(self.suffix):
+                        # a .tmp file is an interrupted writer's leftover; it
+                        # is invisible to the budgets, so reap it once it is
+                        # old enough that no live writer can still own it
+                        if entry.name.endswith(".tmp"):
+                            try:
+                                if entry.stat().st_mtime < stale_tmp_before:
+                                    os.unlink(entry.path)
+                            except OSError:
+                                pass
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    count += 1
+                    total_bytes += stat.st_size
+                    if entry.path != keep:
+                        entries.append((stat.st_mtime, stat.st_size, entry.path))
+        except OSError:
+            return 0
+        entries.sort()
+        evicted = 0
+        for mtime, size, path in entries:
+            over_entries = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total_bytes > self.max_bytes
+            if not over_entries and not over_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            evicted += 1
+            count -= 1
+            total_bytes -= size
+        return evicted
 
 
 class _JsonCodec:
@@ -379,18 +462,39 @@ class PersistentSolveCache(SolveCache):
 
     Set ``persist=False`` (or construct a plain :class:`SolveCache`) to
     disable the disk layer while keeping the interface.
+
+    ``max_disk_entries`` / ``max_disk_bytes`` bound the *on-disk* store
+    (``max_entries`` remains the in-memory LRU size): every write prunes
+    least-recently-used files beyond the budgets, never the entry just
+    written, so long-lived cache directories stop growing without bound.
+    Evictions are tallied under ``evictions`` in :meth:`statistics`.
     """
 
-    def __init__(self, cache_dir: str, max_entries: int = 1024, persist: bool = True):
+    def __init__(
+        self,
+        cache_dir: str,
+        max_entries: int = 1024,
+        persist: bool = True,
+        max_disk_entries: Optional[int] = None,
+        max_disk_bytes: Optional[int] = None,
+    ):
         super().__init__(max_entries)
         self.cache_dir = cache_dir
         self.persist = persist
-        self._disk = _DiskCacheLayer(cache_dir, "solve", ".json", _JsonCodec)
+        self._disk = _DiskCacheLayer(
+            cache_dir,
+            "solve",
+            ".json",
+            _JsonCodec,
+            max_entries=max_disk_entries,
+            max_bytes=max_disk_bytes,
+        )
         self.disk_hits = 0
         self.disk_misses = 0
         self.load_errors = 0
         self.writes = 0
         self.write_errors = 0
+        self.evictions = 0
 
     # -- SolveCache interface ------------------------------------------
 
@@ -441,8 +545,10 @@ class PersistentSolveCache(SolveCache):
         except Exception:
             self.write_errors += 1
             return
-        if self._disk.store(cache_key_token(key), payload):
+        ok, evicted = self._disk.store(cache_key_token(key), payload)
+        if ok:
             self.writes += 1
+            self.evictions += evicted
         else:
             self.write_errors += 1
 
@@ -457,6 +563,7 @@ class PersistentSolveCache(SolveCache):
                 "load_errors": self.load_errors,
                 "writes": self.writes,
                 "write_errors": self.write_errors,
+                "evictions": self.evictions,
             }
         )
         return stats
@@ -485,17 +592,35 @@ class PersistentGroundCache:
     are large graphs of interned atoms — treat the cache directory as
     trusted local state (it is written and read only by this machine's own
     sessions), not as an interchange format.
+
+    With ``max_entries`` / ``max_bytes`` set, every write prunes the ground
+    store back under the budgets in least-recently-used order (never the
+    entry just written); evictions are tallied in :meth:`statistics`.
     """
 
-    def __init__(self, cache_dir: str, persist: bool = True):
+    def __init__(
+        self,
+        cache_dir: str,
+        persist: bool = True,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
         self.cache_dir = cache_dir
         self.persist = persist
-        self._disk = _DiskCacheLayer(cache_dir, "ground", ".pkl", _PickleCodec)
+        self._disk = _DiskCacheLayer(
+            cache_dir,
+            "ground",
+            ".pkl",
+            _PickleCodec,
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+        )
         self.hits = 0
         self.misses = 0
         self.load_errors = 0
         self.writes = 0
         self.write_errors = 0
+        self.evictions = 0
 
     def get(self, key: Hashable):
         """The cached object for ``key``, or None (on any miss or error)."""
@@ -514,8 +639,10 @@ class PersistentGroundCache:
         """Persist ``value`` under ``key`` (best effort; never raises)."""
         if not self.persist:
             return
-        if self._disk.store(cache_key_token(key), value):
+        ok, evicted = self._disk.store(cache_key_token(key), value)
+        if ok:
             self.writes += 1
+            self.evictions += evicted
         else:
             self.write_errors += 1
 
@@ -526,6 +653,7 @@ class PersistentGroundCache:
             "load_errors": self.load_errors,
             "writes": self.writes,
             "write_errors": self.write_errors,
+            "evictions": self.evictions,
         }
 
     def __repr__(self):

@@ -382,3 +382,93 @@ def test_persistence_can_be_disabled(micro_repo, tmp_path):
     cache = PersistentSolveCache(str(tmp_path / "off"), persist=False)
     cache.put(("k",), object())
     assert not (tmp_path / "off").exists()
+
+
+# ---------------------------------------------------------------------------
+# Disk eviction / GC (max_entries / max_bytes, LRU pruning on write)
+# ---------------------------------------------------------------------------
+
+
+def _entry_path(cache, key):
+    from repro.spack.store import cache_key_token
+
+    return cache._disk.path_for(cache_key_token(key))
+
+
+def test_ground_cache_prunes_oldest_beyond_max_entries(tmp_path):
+    cache = PersistentGroundCache(str(tmp_path), max_entries=3)
+    for index in range(3):
+        cache.put(("k", index), {"i": index})
+    for index, stamp in enumerate((1000, 2000, 3000)):
+        os.utime(_entry_path(cache, ("k", index)), (stamp, stamp))
+
+    cache.put(("k", 3), {"i": 3})  # one over budget: the oldest entry goes
+    assert cache.evictions == 1
+    assert cache.statistics()["evictions"] == 1
+    assert cache.get(("k", 0)) is None
+    assert all(cache.get(("k", index)) == {"i": index} for index in (1, 2, 3))
+
+
+def test_prune_never_evicts_the_entry_just_written(tmp_path):
+    cache = PersistentGroundCache(str(tmp_path), max_entries=1, max_bytes=1)
+    cache.put(("first",), {"payload": "x" * 256})
+    cache.put(("second",), {"payload": "y" * 256})
+    # the fresh entry survives even though it alone exceeds max_bytes
+    assert cache.get(("second",)) == {"payload": "y" * 256}
+    assert cache.get(("first",)) is None
+    assert len(ground_files(tmp_path)) == 1
+
+
+def test_ground_cache_prunes_to_byte_budget(tmp_path):
+    cache = PersistentGroundCache(str(tmp_path), max_bytes=2500)
+    for index in range(4):
+        cache.put(("k", index), {"payload": "x" * 1000})
+        os.utime(_entry_path(cache, ("k", index)), (1000 + index, 1000 + index))
+    files = ground_files(tmp_path)
+    assert len(files) < 4
+    assert sum(os.path.getsize(f) for f in files) <= 2500
+    assert cache.get(("k", 3)) is not None  # newest always survives
+
+
+def test_reads_refresh_lru_recency(tmp_path):
+    cache = PersistentGroundCache(str(tmp_path), max_entries=2)
+    cache.put(("hot",), {"v": 1})
+    cache.put(("cold",), {"v": 2})
+    os.utime(_entry_path(cache, ("hot",)), (1000, 1000))
+    os.utime(_entry_path(cache, ("cold",)), (2000, 2000))
+
+    assert cache.get(("hot",)) == {"v": 1}  # bumps its mtime to now
+    cache.put(("new",), {"v": 3})  # evicts 'cold', the true LRU
+    assert cache.get(("hot",)) is not None
+    assert cache.get(("cold",)) is None
+    assert cache.get(("new",)) is not None
+
+
+def test_session_cache_budgets_bound_both_stores(micro_repo, tmp_path):
+    session = fresh_session(micro_repo, tmp_path, cache_max_entries=1)
+    first = [signature(r) for r in session.solve(BATCH)]
+    assert len(solve_files(tmp_path)) == 1  # 3 distinct results written, 2 pruned
+    assert len(ground_files(tmp_path)) == 1
+    assert session.solve_cache.statistics()["evictions"] == 2
+
+    # the surviving entry is the most recently written result ("example@1.0.0",
+    # the last distinct spec) and still replays without a solver call
+    replay = fresh_session(micro_repo, tmp_path, cache_max_entries=1)
+    assert [signature(r) for r in replay.solve(["example@1.0.0"])] == [first[2]]
+    assert replay.stats.solve_cache_misses == 0
+    assert replay.solve_cache.statistics()["disk_hits"] == 1
+
+
+def test_prune_reaps_stale_tmp_files_but_not_live_ones(tmp_path):
+    cache = PersistentGroundCache(str(tmp_path), max_entries=8)
+    cache.put(("a",), {"v": 1})
+    orphan = tmp_path / "ground" / "orphan.tmp"  # interrupted writer, long dead
+    orphan.write_bytes(b"partial")
+    os.utime(orphan, (1000, 1000))
+    live = tmp_path / "ground" / "live.tmp"  # a writer that may still be going
+    live.write_bytes(b"in flight")
+
+    cache.put(("b",), {"v": 2})  # any budgeted write prunes
+    assert not orphan.exists()
+    assert live.exists()
+    assert cache.get(("a",)) is not None and cache.get(("b",)) is not None
