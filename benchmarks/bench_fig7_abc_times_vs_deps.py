@@ -7,7 +7,7 @@ reach MPI) and a high group (can reach MPI).
 
 import pytest
 
-from benchmarks.conftest import PACKAGE_SAMPLE
+from benchmarks.workloads import PACKAGE_SAMPLE
 from benchmarks.reporting import record
 from repro.spack.concretize import Concretizer
 

@@ -10,7 +10,7 @@ import statistics
 
 import pytest
 
-from benchmarks.conftest import SMALL_SAMPLE
+from benchmarks.workloads import SMALL_SAMPLE
 from benchmarks.reporting import record
 from repro.asp.configs import SolverConfig
 from repro.spack.concretize import Concretizer

@@ -8,7 +8,7 @@ completeness and optimality.
 
 import pytest
 
-from benchmarks.conftest import SMALL_SAMPLE
+from benchmarks.workloads import SMALL_SAMPLE
 from benchmarks.reporting import record
 from repro.spack.concretize import Concretizer, OriginalConcretizer
 

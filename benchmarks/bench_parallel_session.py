@@ -38,33 +38,15 @@ REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 sys.path.insert(0, REPO_ROOT)
 
 from benchmarks.reporting import record  # noqa: E402
-from benchmarks.workloads import micro_repo, signature  # noqa: E402
+from benchmarks.workloads import (  # noqa: E402
+    FAMILY_WORKLOAD_16 as WORKLOAD,
+    micro_repo,
+    signature,
+)
 from repro.spack.concretize import ConcretizationSession  # noqa: E402
 from repro.spack.concretize.session import (  # noqa: E402
     clear_shared_bases,
     default_worker_count,
-)
-
-#: 16 distinct, overlapping micro-repo specs from one spec family (versions x
-#: variants x dependency constraints of the paper's Figure 2 ``example``
-#: package): the shape of an E4S-style build-cache population batch.
-WORKLOAD = (
-    "example",
-    "example+bzip",
-    "example~bzip",
-    "example@1.0.0",
-    "example@1.1.0",
-    "example@1.0.0+bzip",
-    "example@1.0.0~bzip",
-    "example@1.1.0+bzip",
-    "example@1.1.0~bzip",
-    "example ^zlib+pic",
-    "example ^zlib~pic",
-    "example+bzip ^zlib+pic",
-    "example~bzip ^zlib~pic",
-    "example+bzip ^bzip2+shared",
-    "example+bzip ^bzip2~shared",
-    "example@1.0.0 ^zlib~pic",
 )
 
 WORKERS = 4

@@ -1,4 +1,11 @@
-"""Shared fixtures for the benchmark harness."""
+"""Pytest fixtures for the benchmark harness.
+
+The data the benchmarks share — package samples, the micro catalog, the
+result ``signature`` — lives in :mod:`benchmarks.workloads`; this module
+only holds the pytest fixture adapters.  (The workloads module itself still
+reaches into ``tests/conftest.py`` for the micro package classes, so pytest
+must be installed wherever benchmarks run — CI's bench jobs install it.)
+"""
 
 from __future__ import annotations
 
@@ -6,27 +13,6 @@ import pytest
 
 from repro.spack.compilers import CompilerRegistry
 from repro.spack.repo import builtin_repository
-
-
-#: Packages spanning the possible-dependency range of the builtin repository,
-#: from leaves to MPI-reaching packages (the x-axis of Figures 7a-7c).
-PACKAGE_SAMPLE = (
-    "zlib",
-    "bzip2",
-    "readline",
-    "openssl",
-    "pkgconf",
-    "libxml2",
-    "zfp",
-    "hwloc",
-    "sz",
-    "c-blosc",
-    "hdf5",
-)
-
-#: Smaller sample for the preset / old-vs-new comparisons (kept small because
-#: every entry is solved several times).
-SMALL_SAMPLE = ("zlib", "openssl", "hwloc", "sz", "hdf5")
 
 
 @pytest.fixture(scope="session")

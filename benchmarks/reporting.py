@@ -1,18 +1,51 @@
-"""Helpers for recording benchmark series.
+"""Helpers for recording benchmark series, plus the benchmark-trend runner.
 
 Every benchmark regenerates one table or figure of the paper.  Since the
 interesting output is a *series* (e.g. solve time vs. number of possible
 dependencies) rather than a single number, each harness writes its rows both
-to stdout and to ``benchmarks/results/<name>.txt`` so the data survives the
-pytest run and can be compared against the paper (see EXPERIMENTS.md).
+to stdout and to ``benchmarks/results/<name>.txt`` (human-readable) and
+``benchmarks/results/<name>.json`` (machine-readable) so the data survives
+the pytest run and can be compared against the paper (see EXPERIMENTS.md).
+
+This module is also the **bench-trend** entry point CI uses to record the
+repository's performance trajectory::
+
+    PYTHONPATH=src python benchmarks/reporting.py --quick --output BENCH_4.json
+
+runs every ``--quick``-capable session benchmark as a subprocess, times it,
+collects the machine-readable tables it recorded, and writes one aggregate
+trend file (``BENCH_4.json``) whose schema is stable across PRs — so the
+perf trajectory is a diffable artifact instead of an empty placeholder.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
-from typing import Iterable, List, Sequence
+import platform
+import subprocess
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCHMARKS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCHMARKS_DIR)
+RESULTS_DIR = os.path.join(BENCHMARKS_DIR, "results")
+
+#: The benchmarks the trend runner executes, in order.  Each must accept
+#: ``--quick`` (the CI smoke mode) and record its tables through
+#: :func:`record` so the trend file can pick them up.
+QUICK_BENCHMARKS = (
+    "bench_batch_session.py",
+    "bench_parallel_session.py",
+    "bench_sharded_repo.py",
+    "bench_async_session.py",
+)
+
+#: Schema version of the aggregate trend file.  Bump on layout changes so
+#: downstream tooling comparing BENCH_<n>.json files across PRs can tell.
+TREND_SCHEMA = 1
 
 
 def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -29,11 +62,147 @@ def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) ->
     return "\n".join(lines)
 
 
+def _json_cell(cell):
+    return cell if isinstance(cell, (int, float, bool, str)) or cell is None else str(cell)
+
+
 def record(name: str, title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
-    """Print and persist one result table; returns the formatted text."""
-    text = format_table(title, header, list(rows))
+    """Print and persist one result table; returns the formatted text.
+
+    Writes both renderings: ``results/<name>.txt`` for humans and
+    ``results/<name>.json`` (``{"name", "title", "header", "rows"}``) for
+    the trend runner and any downstream tooling.
+    """
+    rows = list(rows)
+    text = format_table(title, header, rows)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as stream:
         stream.write(text + "\n")
+    payload = {
+        "name": name,
+        "title": title,
+        "header": list(header),
+        "rows": [[_json_cell(cell) for cell in row] for row in rows],
+    }
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
     print("\n" + text)
     return text
+
+
+# ---------------------------------------------------------------------------
+# The bench-trend runner
+# ---------------------------------------------------------------------------
+
+
+def run_quick_benchmarks(scripts: Sequence[str] = QUICK_BENCHMARKS) -> List[Dict]:
+    """Run every quick benchmark as a subprocess; one status entry each.
+
+    A failing benchmark does not abort the sweep — its non-zero exit code is
+    recorded (and surfaced through :func:`main`'s exit status) so the trend
+    file always reflects the full picture.
+    """
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    entries = []
+    for script in scripts:
+        path = os.path.join(BENCHMARKS_DIR, script)
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, path, "--quick"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - start
+        entry = {
+            "benchmark": script,
+            "status": "ok" if proc.returncode == 0 else "fail",
+            "returncode": proc.returncode,
+            "wall_time_s": round(elapsed, 3),
+        }
+        if proc.returncode != 0:
+            entry["stderr_tail"] = proc.stderr.strip().splitlines()[-5:]
+        entries.append(entry)
+        print(f"[bench-trend] {script}: {entry['status']} in {elapsed:.1f}s")
+    return entries
+
+
+def collect_tables(since: Optional[float] = None) -> Dict[str, Dict]:
+    """Machine-readable tables under ``results/``.
+
+    With ``since`` (a ``time.time()`` stamp), only tables written at or
+    after it are collected — the trend runner passes its sweep start so a
+    locally regenerated trend file can never pick up stale tables from
+    earlier, unrelated benchmark runs and diverge from CI's fresh-checkout
+    artifact.
+    """
+    tables: Dict[str, Dict] = {}
+    if not os.path.isdir(RESULTS_DIR):
+        return tables
+    for filename in sorted(os.listdir(RESULTS_DIR)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(RESULTS_DIR, filename)
+        try:
+            if since is not None and os.stat(path).st_mtime < since:
+                continue
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            continue
+        if isinstance(payload, dict) and "rows" in payload:
+            tables[payload.get("name", filename[:-5])] = payload
+    return tables
+
+
+def write_trend(output: str, entries: List[Dict], since: Optional[float] = None) -> Dict:
+    """Aggregate run entries + recorded tables into one trend file."""
+    trend = {
+        "schema": TREND_SCHEMA,
+        "source": "benchmarks/reporting.py --quick",
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benchmarks": entries,
+        "tables": collect_tables(since=since),
+    }
+    with open(output, "w") as stream:
+        json.dump(trend, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return trend
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run every quick session benchmark and aggregate the trend file",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_4.json"),
+        help="path of the aggregate trend file (default: BENCH_4.json)",
+    )
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("nothing to do: pass --quick to run the trend sweep")
+    sweep_start = time.time()
+    entries = run_quick_benchmarks()
+    write_trend(args.output, entries, since=sweep_start)
+    failures = [e for e in entries if e["status"] != "ok"]
+    print(
+        f"[bench-trend] wrote {args.output}: {len(entries) - len(failures)}/"
+        f"{len(entries)} benchmarks ok"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,15 +1,62 @@
-"""Shared fixtures for the session benchmarks.
+"""Shared workloads and fixtures for the benchmark harness.
 
-The micro catalog (flat and sharded flavors) and the result ``signature``
-every equivalence assertion compares on live here, so all benchmarks agree
-on what "element-wise identical" means — updating the identity semantics in
-one place updates every harness.
+Everything the benchmarks agree on lives here, in one place:
+
+* the micro catalog (flat and sharded flavors) and the result ``signature``
+  every equivalence assertion compares on — updating the identity semantics
+  here updates every harness;
+* the builtin-catalog package samples (``PACKAGE_SAMPLE`` /
+  ``SMALL_SAMPLE``) the paper-figure benchmarks sweep over;
+* the 16-spec overlapping spec family (``FAMILY_WORKLOAD_16``) the
+  parallel- and async-session benchmarks batch.
 """
 
 from __future__ import annotations
 
 from repro.spack.repo import Repository, RepositoryShard, ShardedRepository
 from tests.conftest import MICRO_PACKAGES
+
+#: Packages spanning the possible-dependency range of the builtin repository,
+#: from leaves to MPI-reaching packages (the x-axis of Figures 7a-7c).
+PACKAGE_SAMPLE = (
+    "zlib",
+    "bzip2",
+    "readline",
+    "openssl",
+    "pkgconf",
+    "libxml2",
+    "zfp",
+    "hwloc",
+    "sz",
+    "c-blosc",
+    "hdf5",
+)
+
+#: Smaller sample for the preset / old-vs-new comparisons (kept small because
+#: every entry is solved several times).
+SMALL_SAMPLE = ("zlib", "openssl", "hwloc", "sz", "hdf5")
+
+#: 16 distinct, overlapping micro-repo specs from one spec family (versions x
+#: variants x dependency constraints of the paper's Figure 2 ``example``
+#: package): the shape of an E4S-style build-cache population batch.
+FAMILY_WORKLOAD_16 = (
+    "example",
+    "example+bzip",
+    "example~bzip",
+    "example@1.0.0",
+    "example@1.1.0",
+    "example@1.0.0+bzip",
+    "example@1.0.0~bzip",
+    "example@1.1.0+bzip",
+    "example@1.1.0~bzip",
+    "example ^zlib+pic",
+    "example ^zlib~pic",
+    "example+bzip ^zlib+pic",
+    "example~bzip ^zlib~pic",
+    "example+bzip ^bzip2+shared",
+    "example+bzip ^bzip2~shared",
+    "example@1.0.0 ^zlib~pic",
+)
 
 #: the micro catalog split into four shards (apps last, like the builtin one)
 MICRO_SHARD_LAYOUT = (

@@ -17,15 +17,17 @@ The package is organised in two layers:
 from repro.asp.configs import SolverConfig
 from repro.asp.control import Control, PreparedProgram, SolveResult
 from repro.spack.concretize import (
+    AsyncConcretizationSession,
     ConcretizationResult,
     ConcretizationSession,
     Concretizer,
 )
 from repro.spack.store import Database, SolveCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AsyncConcretizationSession",
     "ConcretizationResult",
     "ConcretizationSession",
     "Concretizer",

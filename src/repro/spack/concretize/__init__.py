@@ -17,8 +17,14 @@ original greedy baseline.
   per-spec solves fan out to a worker pool over the shared base, and with
   ``cache_dir=...`` the ground/solve caches persist on disk across
   processes (see ``docs/ARCHITECTURE.md`` and ``docs/CACHING.md``).
+* :class:`repro.spack.concretize.async_session.AsyncConcretizationSession` —
+  the ``asyncio`` front-end over the same machinery: ``await
+  session.concretize(spec)``, ``concretize_batch()``, and an
+  ``as_completed()`` streaming API that yields results in completion order
+  with bounded concurrency and clean cancellation.
 """
 
+from repro.spack.concretize.async_session import AsyncConcretizationSession
 from repro.spack.concretize.concretizer import ConcretizationResult, Concretizer
 from repro.spack.concretize.criteria import CRITERIA, Criterion, describe_costs
 from repro.spack.concretize.original import OriginalConcretizer
@@ -32,6 +38,7 @@ from repro.spack.concretize.session import (
 
 __all__ = [
     "CRITERIA",
+    "AsyncConcretizationSession",
     "ConcretizationResult",
     "ConcretizationSession",
     "Concretizer",

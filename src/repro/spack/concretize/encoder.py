@@ -224,7 +224,10 @@ class ProblemEncoder:
         close_layer(EncodedLayer("context"))
 
         included = []
-        for shard in repo.shards:
+        # grounding order, not insertion order: dirty (post-attach-edited)
+        # shards sink to the end of the chain so repeated edits converge to
+        # re-grounding exactly one layer (see ShardedRepository.layering_shards)
+        for shard in repo.layering_shards():
             names = sorted(name for name in self._possible if name in shard)
             if names:
                 included.append((shard, names))

@@ -47,6 +47,13 @@ Two orthogonal extensions scale sessions beyond one process (see
   zero grounding and zero solver calls.  Both layers are keyed by the same
   content hashes as the in-memory caches, so repo/preset/store changes
   invalidate disk entries exactly like memory ones.
+
+For *serving* concretizations instead of batching them, the
+:class:`~repro.spack.concretize.async_session.AsyncConcretizationSession`
+front-end wraps a session in ``asyncio``: awaitable solves, an
+``as_completed()`` streaming API over the same worker fan-out, bounded
+concurrency, and clean cancellation — sharing this module's caches and
+statistics, and element-wise identical to :meth:`ConcretizationSession.solve`.
 """
 
 from __future__ import annotations

@@ -26,6 +26,18 @@ Two flavors exist:
   and its persistent caches, see ``docs/CACHING.md``) can invalidate at shard
   granularity: editing one shard re-grounds and re-persists only that
   shard's fact layer.
+
+Two refinements keep that one-layer property under real-world churn:
+
+* **multi-catalog composition** — :meth:`ShardedRepository.compose` stacks
+  several catalogs (e.g. a user repository over the builtin one) behind one
+  repository: earlier arguments shadow later ones name-wise, while their
+  shards layer *after* the base catalog's, so editing a user package
+  re-grounds exactly one layer;
+* **dirty-shard reordering** — shards mutated after attach sink to the end
+  of the grounding chain (:meth:`ShardedRepository.layering_shards`), so
+  repeated edits to any shard — even a middle one — converge to one-layer
+  re-grounds.
 """
 
 from __future__ import annotations
@@ -294,6 +306,10 @@ class RepositoryShard:
             self._owner._register(cls, self)
         self._packages[name] = cls
         self._generation += 1
+        if self._owner is not None:
+            # a post-attach mutation: tell the owner so dirty-shard
+            # reordering can sink this shard to the end of the layer chain
+            self._owner._note_edit(self)
         return cls
 
     def __contains__(self, name: str) -> bool:
@@ -360,6 +376,13 @@ class ShardedRepository(Repository):
         super().__init__(name=name)
         self._shards: "OrderedDict[str, RepositoryShard]" = OrderedDict()
         self._shard_of: Dict[str, str] = {}
+        # dirty-shard bookkeeping: shard name -> monotone edit sequence for
+        # every shard mutated *after* it was attached (see layering_shards)
+        self._edit_counter = 0
+        self._edit_seq: Dict[str, int] = {}
+        #: (package, winning catalog, shadowed catalog) triples recorded by
+        #: :meth:`compose` when a higher-precedence catalog overrides a name
+        self.shadowed: List[Tuple[str, str, str]] = []
         for shard in shards:
             self.add_shard(shard)
 
@@ -425,6 +448,113 @@ class ShardedRepository(Repository):
             raise UnknownPackageError(package_name, self.name) from None
 
     # ------------------------------------------------------------------
+    # Dirty-shard reordering
+    # ------------------------------------------------------------------
+
+    def _note_edit(self, shard: RepositoryShard) -> None:
+        """Record a post-attach mutation of ``shard``.
+
+        Called by :meth:`RepositoryShard.add` on attached shards.  Edits at
+        attach time (``add_shard``) are *not* edits: a freshly composed
+        repository starts with every shard clean, in insertion order.
+        """
+        self._edit_counter += 1
+        self._edit_seq[shard.name] = self._edit_counter
+
+    def dirty_shards(self) -> List[str]:
+        """Names of post-attach-edited shards, least recently edited first."""
+        return sorted(self._edit_seq, key=self._edit_seq.__getitem__)
+
+    def layering_shards(self) -> List[RepositoryShard]:
+        """The shards in *grounding* order: clean first, dirty last.
+
+        Clean shards keep their insertion order; shards edited after attach
+        sink to the end of the chain, ordered by their last edit (most
+        recently edited shard last).  Sessions ground the spec-independent
+        base as a chain of per-shard layers cached per *prefix*, so putting
+        the volatile shards at the end means repeated edits — even to a shard
+        that started out in the middle of the chain — converge to re-grounding
+        exactly one layer: the first edit re-grounds the reordered suffix
+        once, and every later edit finds the whole clean prefix warm.
+
+        :attr:`shards` keeps the stable insertion order (what
+        :meth:`shard_hashes` and generic ``repo.add`` routing use); only the
+        grounding chain follows this order.
+        """
+        shards = self.shards
+        clean = [s for s in shards if s.name not in self._edit_seq]
+        dirty = sorted(
+            (s for s in shards if s.name in self._edit_seq),
+            key=lambda s: self._edit_seq[s.name],
+        )
+        return clean + dirty
+
+    # ------------------------------------------------------------------
+    # Multi-catalog composition
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def compose(
+        cls, *repositories: Repository, name: Optional[str] = None
+    ) -> "ShardedRepository":
+        """Stack several catalogs' shards behind one composed repository.
+
+        Argument order is *precedence* order — ``compose(user_repo,
+        builtin_repo)`` means the user catalog wins wherever both define a
+        package name (the builtin class is omitted and recorded in
+        :attr:`shadowed`).  Layering order is the reverse: base catalogs
+        ground first and overlay shards sink to the end of the chain, so a
+        session over the composed repository keys one ground layer per source
+        shard and editing a *user* package re-grounds exactly one layer while
+        every builtin layer replays from cache.
+
+        Each source contributes fresh :class:`RepositoryShard` objects named
+        ``<catalog>/<shard>`` (a flat :class:`Repository` contributes one
+        ``<catalog>/packages`` shard), so composing never mutates or claims
+        the source repositories and the same sources can be re-composed
+        freely.  Provider preferences merge with the same precedence: an
+        overlay's preference for a virtual replaces the base's.
+        """
+        if not repositories:
+            raise PackageError("compose() needs at least one repository")
+        winners: Dict[str, int] = {}
+        for position, source in enumerate(repositories):
+            for package in source.all_package_names():
+                winners.setdefault(package, position)
+
+        prefixes = []
+        seen_prefixes: Dict[str, int] = {}
+        for position, source in enumerate(repositories):
+            prefix = source.name
+            if prefix in seen_prefixes:
+                prefix = f"{prefix}#{position}"
+            seen_prefixes[prefix] = position
+            prefixes.append(prefix)
+
+        composed = cls(name=name or "+".join(prefixes))
+        shadowed: List[Tuple[str, str, str]] = []
+        # base catalogs first, overlays after, so overlay shards layer last
+        for position in range(len(repositories) - 1, -1, -1):
+            source = repositories[position]
+            for shard_name, classes in _catalog_shards(source):
+                kept = []
+                for package_cls in classes:
+                    if winners[package_cls.name] == position:
+                        kept.append(package_cls)
+                    else:
+                        winner = repositories[winners[package_cls.name]]
+                        shadowed.append((package_cls.name, winner.name, source.name))
+                composed.add_shard(
+                    RepositoryShard(f"{prefixes[position]}/{shard_name}", kept)
+                )
+        # overlay preferences override base ones per virtual
+        for source in reversed(repositories):
+            for virtual, providers in source._provider_preferences.items():
+                composed.set_provider_preference(virtual, list(providers))
+        composed.shadowed = sorted(shadowed)
+        return composed
+
+    # ------------------------------------------------------------------
     # Hashing
     # ------------------------------------------------------------------
 
@@ -446,6 +576,24 @@ class ShardedRepository(Repository):
             f"<ShardedRepository {self.name!r} with {len(self)} packages "
             f"in {len(self._shards)} shards>"
         )
+
+
+def _catalog_shards(
+    source: Repository,
+) -> List[Tuple[str, List[Type[PackageBase]]]]:
+    """One ``(shard name, package classes)`` slice per layer of ``source``.
+
+    A :class:`ShardedRepository` contributes its shards in grounding order
+    (:meth:`ShardedRepository.layering_shards`, so dirty order survives
+    composition); a flat :class:`Repository` contributes a single
+    ``packages`` slice.
+    """
+    if isinstance(source, ShardedRepository):
+        return [
+            (shard.name, shard.package_classes())
+            for shard in source.layering_shards()
+        ]
+    return [("packages", [source.get(n) for n in source.all_package_names()])]
 
 
 # A process-wide default repository that the builtin packages register into.

@@ -35,6 +35,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
@@ -199,40 +200,53 @@ class SolveCache:
     def __init__(self, max_entries: int = 1024):
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        # Guards the LRU dict and counters: concretization sessions may be
+        # driven from several threads at once (thread workers, the async
+        # session's executor threads), and an OrderedDict ``move_to_end``
+        # racing a ``popitem`` corrupts the dict.  Critical sections are
+        # memory-only — disk I/O in the persistent flavors happens outside
+        # the lock — so the lock is cheap and (nearly) fork-safe.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable):
         """The cached value for ``key`` (bumped to most-recent), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, value) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def statistics(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def __repr__(self):
         return (
@@ -500,21 +514,25 @@ class PersistentSolveCache(SolveCache):
 
     def get(self, key: Hashable):
         """Memory first, then disk; a disk hit is promoted into memory."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+        # the disk probe runs outside the lock (file I/O must not serialize
+        # concurrent readers or leak a held lock across fork)
         value = self._load(key) if self.persist else None
-        if value is not None:
-            self.hits += 1
-            self.disk_hits += 1
-            super().put(key, value)
-            return value
-        self.misses += 1
-        if self.persist:
-            self.disk_misses += 1
-        return None
+        with self._lock:
+            if value is not None:
+                self.hits += 1
+                self.disk_hits += 1
+                super().put(key, value)  # RLock: reentrant
+                return value
+            self.misses += 1
+            if self.persist:
+                self.disk_misses += 1
+            return None
 
     def put(self, key: Hashable, value) -> None:
         """Insert into memory and write through to disk (best effort)."""
@@ -529,14 +547,16 @@ class PersistentSolveCache(SolveCache):
 
         status, payload = self._disk.load(cache_key_token(key))
         if status == "error":
-            self.load_errors += 1
+            with self._lock:
+                self.load_errors += 1
             return None
         if status != "hit":
             return None
         try:
             return ConcretizationResult.from_dict(payload)
         except Exception:
-            self.load_errors += 1
+            with self._lock:
+                self.load_errors += 1
             return None
 
     def _dump(self, key: Hashable, value) -> None:
@@ -546,11 +566,12 @@ class PersistentSolveCache(SolveCache):
             self.write_errors += 1
             return
         ok, evicted = self._disk.store(cache_key_token(key), payload)
-        if ok:
-            self.writes += 1
-            self.evictions += evicted
-        else:
-            self.write_errors += 1
+        with self._lock:
+            if ok:
+                self.writes += 1
+                self.evictions += evicted
+            else:
+                self.write_errors += 1
 
     # -- introspection -------------------------------------------------
 
@@ -621,30 +642,35 @@ class PersistentGroundCache:
         self.writes = 0
         self.write_errors = 0
         self.evictions = 0
+        # counters only (the disk layer itself is concurrency-safe through
+        # atomic writes); memory-only critical sections, like SolveCache
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable):
         """The cached object for ``key``, or None (on any miss or error)."""
         if not self.persist:
             return None
         status, payload = self._disk.load(cache_key_token(key))
-        if status == "hit":
-            self.hits += 1
-            return payload
-        if status == "error":
-            self.load_errors += 1
-        self.misses += 1
-        return None
+        with self._lock:
+            if status == "hit":
+                self.hits += 1
+                return payload
+            if status == "error":
+                self.load_errors += 1
+            self.misses += 1
+            return None
 
     def put(self, key: Hashable, value) -> None:
         """Persist ``value`` under ``key`` (best effort; never raises)."""
         if not self.persist:
             return
         ok, evicted = self._disk.store(cache_key_token(key), value)
-        if ok:
-            self.writes += 1
-            self.evictions += evicted
-        else:
-            self.write_errors += 1
+        with self._lock:
+            if ok:
+                self.writes += 1
+                self.evictions += evicted
+            else:
+                self.write_errors += 1
 
     def statistics(self) -> Dict[str, int]:
         return {

@@ -1,0 +1,327 @@
+"""Async concretization sessions: identity, streaming, cancellation, crashes.
+
+The contract under test (ISSUE 4 tentpole, async half):
+
+* ``await AsyncConcretizationSession(...).concretize_batch(specs)`` is
+  element-wise identical to the sequential session, in input order, on both
+  worker backends;
+* ``as_completed()`` streams every ``(input index, result)`` pair exactly
+  once, cache hits first, and the union matches the sequential results;
+* concurrency is bounded by the session-wide semaphore
+  (``max_concurrency``);
+* cancelling a consumer mid-stream returns the leased workers and leaves the
+  session (and the event loop) fully usable — no hung tasks;
+* a worker process that dies mid-solve degrades that call to sequential
+  solving with identical results; solver errors still propagate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+
+import pytest
+
+from repro.spack.concretize import (
+    AsyncConcretizationSession,
+    ConcretizationSession,
+)
+from repro.spack.concretize.session import clear_shared_bases
+from repro.spack.errors import UnsatisfiableSpecError
+
+#: overlapping single-family batch: six distinct solves, two exact repeats
+BATCH = [
+    "example",
+    "example+bzip",
+    "example~bzip",
+    "example@1.0.0",
+    "example@1.1.0",
+    "example ^zlib~pic",
+    "example",
+    "example+bzip",
+]
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def signature(result):
+    return (
+        str(result.spec),
+        sorted(str(s) for s in result.specs.values()),
+        {level: cost for level, cost in result.costs.items() if cost},
+        sorted(result.built),
+        sorted(result.reused),
+    )
+
+
+def run(coro, timeout=120.0):
+    """Drive one coroutine to completion with a hang guard."""
+
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout=timeout)
+
+    return asyncio.run(guarded())
+
+
+@pytest.fixture()
+def sequential_results(micro_repo):
+    clear_shared_bases()
+    session = ConcretizationSession(repo=micro_repo, share_ground_cache=False)
+    return [signature(r) for r in session.solve(BATCH)]
+
+
+def make_async(micro_repo, **kwargs):
+    clear_shared_bases()
+    kwargs.setdefault("worker_backend", "thread")
+    kwargs.setdefault("max_concurrency", 4)
+    return AsyncConcretizationSession(
+        repo=micro_repo, share_ground_cache=False, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# Element-wise identity with the sequential session
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "backend",
+    ["thread"] + (["process"] if HAS_FORK else []),
+)
+def test_batch_identical_to_sequential(micro_repo, sequential_results, backend):
+    async def go():
+        async with make_async(micro_repo, worker_backend=backend) as session:
+            return await session.concretize_batch(BATCH)
+
+    results = run(go())
+    assert [signature(r) for r in results] == sequential_results
+
+
+def test_single_concretize_roundtrip(micro_repo):
+    async def go():
+        async with make_async(micro_repo) as session:
+            first = await session.concretize("example@1.0.0")
+            again = await session.concretize("example@1.0.0")
+            return first, again, session.stats.as_dict()
+
+    first, again, stats = run(go())
+    assert str(first.spec.versions) == "1.0.0"
+    assert signature(first) == signature(again)
+    assert stats["solve_cache_hits"] == 1  # the repeat never solved again
+    assert stats["delta_groundings"] == 1
+
+
+def test_as_completed_streams_every_index_once(micro_repo, sequential_results):
+    async def go():
+        async with make_async(micro_repo) as session:
+            pairs = []
+            async for index, result in session.as_completed(BATCH):
+                pairs.append((index, signature(result)))
+            return pairs
+
+    pairs = run(go())
+    assert sorted(index for index, _ in pairs) == list(range(len(BATCH)))
+    by_index = dict(pairs)
+    assert [by_index[i] for i in range(len(BATCH))] == sequential_results
+
+
+def test_as_completed_yields_cache_hits_first(micro_repo):
+    async def go():
+        async with make_async(micro_repo) as session:
+            await session.concretize("example")  # warm exactly one spec
+            order = []
+            async for index, _ in session.as_completed(
+                ["example+bzip", "example", "example~bzip"]
+            ):
+                order.append(index)
+            return order
+
+    order = run(go())
+    # the warm spec (index 1) streams out before any worker-solved result
+    assert order[0] == 1
+
+
+def test_in_batch_duplicates_never_lease_a_worker(micro_repo):
+    async def go():
+        async with make_async(micro_repo) as session:
+            await session.concretize_batch(BATCH)
+            return session.stats.as_dict()
+
+    stats = run(go())
+    assert stats["delta_groundings"] == 6  # distinct specs only
+    assert stats["solve_cache_hits"] == 2  # the two in-batch repeats
+    assert stats["solve_cache_misses"] == 6
+    assert stats["specs_solved"] == len(BATCH)
+    assert stats["base_groundings"] == 1  # grounded once, before fan-out
+
+
+def test_semaphore_bounds_inflight_solves(micro_repo, sequential_results):
+    async def go():
+        async with make_async(micro_repo, max_concurrency=1) as session:
+            results = await session.concretize_batch(BATCH)
+            return [signature(r) for r in results]
+
+    assert run(go()) == sequential_results
+
+
+def test_concurrent_batches_share_one_session(micro_repo):
+    """Two overlapping concretize_batch calls on one session must both see
+    correct results (the semaphore and base demands are session-wide)."""
+
+    async def go():
+        async with make_async(micro_repo, max_concurrency=2) as session:
+            lo = session.concretize_batch(["example@1.0.0", "example@1.0.0+bzip"])
+            hi = session.concretize_batch(["example@1.1.0", "example@1.1.0+bzip"])
+            results_lo, results_hi = await asyncio.gather(lo, hi)
+            return (
+                [str(r.spec.versions) for r in results_lo],
+                [str(r.spec.versions) for r in results_hi],
+            )
+
+    versions_lo, versions_hi = run(go())
+    assert versions_lo == ["1.0.0", "1.0.0"]
+    assert versions_hi == ["1.1.0", "1.1.0"]
+
+
+# ---------------------------------------------------------------------------
+# Cancellation
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_mid_stream_returns_workers_and_stays_usable(micro_repo):
+    async def go():
+        async with make_async(micro_repo, max_concurrency=2) as session:
+            got = []
+
+            async def consume():
+                async for index, result in session.as_completed(BATCH):
+                    got.append(index)
+
+            task = asyncio.ensure_future(consume())
+            # let some work start, then cancel the consumer outright
+            while not got:
+                await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # leased workers were returned: a fresh solve completes promptly
+            result = await session.concretize("example@1.0.0")
+            return got, str(result.spec.versions)
+
+    got, version = run(go(), timeout=60)
+    assert got  # at least one result streamed before the cancel
+    assert version == "1.0.0"
+
+
+def test_closing_the_generator_early_cleans_up(micro_repo):
+    async def go():
+        async with make_async(micro_repo, max_concurrency=2) as session:
+            agen = session.as_completed(BATCH)
+            index, result = await agen.__anext__()
+            await agen.aclose()
+            # the loop is live and the session still answers
+            follow_up = await session.concretize("example")
+            return index, signature(result), follow_up
+
+    index, _sig, follow_up = run(go(), timeout=60)
+    assert 0 <= index < len(BATCH)
+    assert follow_up.spec.name == "example"
+
+
+# ---------------------------------------------------------------------------
+# Failure behavior
+# ---------------------------------------------------------------------------
+
+
+def test_solver_errors_propagate(micro_repo):
+    async def go():
+        async with make_async(micro_repo) as session:
+            await session.concretize_batch(["example", "example %intel"])
+
+    with pytest.raises(UnsatisfiableSpecError):
+        run(go())
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="process backend needs fork")
+def test_crashing_worker_degrades_to_sequential(micro_repo, sequential_results, monkeypatch):
+    """A worker process dying mid-solve (OOM killer, fork guard, ...) must
+    degrade the affected solves to the fallback thread — identical results,
+    no hung event loop — exactly like the sync session's degradation."""
+    original = ConcretizationSession._solve_uncached
+    parent_pid = os.getpid()
+
+    def dying(self, spec, worker=False):
+        if os.getpid() != parent_pid:
+            os._exit(1)  # simulate the process dying, not a Python exception
+        return original(self, spec, worker=worker)
+
+    monkeypatch.setattr(ConcretizationSession, "_solve_uncached", dying)
+
+    async def go():
+        async with make_async(
+            micro_repo, worker_backend="process", max_concurrency=4
+        ) as session:
+            return await session.concretize_batch(BATCH)
+
+    results = run(go(), timeout=120)
+    assert [signature(r) for r in results] == sequential_results
+
+
+def test_as_completed_completes_under_a_crashing_worker(micro_repo, monkeypatch):
+    """Streaming keeps working through a pool collapse: every index still
+    arrives exactly once (ordering may change — that is the point)."""
+    if not HAS_FORK:
+        pytest.skip("process backend needs fork")
+    original = ConcretizationSession._solve_uncached
+    parent_pid = os.getpid()
+
+    def dying(self, spec, worker=False):
+        if os.getpid() != parent_pid:
+            os._exit(1)
+        return original(self, spec, worker=worker)
+
+    monkeypatch.setattr(ConcretizationSession, "_solve_uncached", dying)
+
+    async def go():
+        async with make_async(
+            micro_repo, worker_backend="process", max_concurrency=4
+        ) as session:
+            indices = []
+            async for index, _result in session.as_completed(BATCH):
+                indices.append(index)
+            return indices
+
+    indices = run(go(), timeout=120)
+    assert sorted(indices) == list(range(len(BATCH)))
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def test_invalid_construction_is_rejected(micro_repo):
+    with pytest.raises(ValueError):
+        AsyncConcretizationSession(
+            session=ConcretizationSession(repo=micro_repo), workers=2
+        )
+    with pytest.raises(ValueError):
+        AsyncConcretizationSession(repo=micro_repo, max_concurrency=0)
+
+
+def test_wraps_an_existing_session(micro_repo):
+    clear_shared_bases()
+    sync_session = ConcretizationSession(repo=micro_repo, share_ground_cache=False)
+    sync_results = [signature(r) for r in sync_session.solve(["example"])]
+
+    async def go():
+        async with AsyncConcretizationSession(session=sync_session) as session:
+            result = await session.concretize("example")
+            return signature(result), session.stats.as_dict()
+
+    sig, stats = run(go())
+    assert [sig] == sync_results
+    # the wrapped session's cache answered: no second grounding or solve
+    assert stats["solve_cache_hits"] == 1
+    assert stats["delta_groundings"] == 1

@@ -2,8 +2,10 @@
 """Docs symbol check: fail if docs reference code that does not exist.
 
 Scans ``docs/*.md`` (and ``README.md``) for backtick-quoted code references
-and verifies each against the source tree, so the documentation cannot
-silently rot as the code evolves.  Checked reference shapes:
+— plus the *module docstrings* of every runnable example under
+``examples/*.py``, which are documentation in the same sense — and verifies
+each against the source tree, so neither can silently rot as the code
+evolves.  Checked reference shapes:
 
 * ``repro.foo.bar`` / ``repro.foo.bar.Baz`` — the module path must resolve
   under ``src/``, and a trailing non-module component must be defined
@@ -21,6 +23,7 @@ words) is ignored.  Run from the repository root (CI does)::
 
 from __future__ import annotations
 
+import ast
 import builtins
 import pathlib
 import re
@@ -29,6 +32,7 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+EXAMPLE_FILES = sorted((REPO_ROOT / "examples").glob("*.py"))
 
 BACKTICK = re.compile(r"`([^`\n]+)`")
 MODULE_PATH = re.compile(r"^repro(\.\w+)+$")
@@ -39,6 +43,7 @@ CONSTANT = re.compile(r"^[A-Z][A-Z0-9_]+$")
 #: Well-known names docs may reference that live in the standard library, not
 #: in src/. Builtins (``None``, ``repr``, ...) are detected automatically.
 STDLIB_ALLOWLIST = {
+    "BrokenProcessPool",
     "ProcessPoolExecutor",
     "ThreadPoolExecutor",
     "OrderedDict",
@@ -77,7 +82,9 @@ def check_reference(token: str, corpus: str):
         return "module path does not resolve under src/"
     if FUNCTION_CALL.match(token):
         name = token[:-2]
-        if not re.search(rf"^\s*def {re.escape(name)}\b", corpus, re.MULTILINE):
+        if not re.search(
+            rf"^\s*(?:async )?def {re.escape(name)}\b", corpus, re.MULTILINE
+        ):
             return f"no 'def {name}' in src/"
         return None
     if CLASS_REF.match(token):
@@ -97,11 +104,43 @@ def check_reference(token: str, corpus: str):
 
 def defined_in(symbol: str, corpus: str) -> bool:
     pattern = (
-        rf"^\s*(?:def|class) {re.escape(symbol)}\b"
+        rf"^\s*(?:async def|def|class) {re.escape(symbol)}\b"
         rf"|^\s*(?:self\.)?{re.escape(symbol)}\s*[:=]"
         rf"|^\s*{re.escape(symbol)}\s*[:=]"
     )
     return re.search(pattern, corpus, re.MULTILINE) is not None
+
+
+def scan_text(source: pathlib.Path, text: str, corpus: str, failures: list) -> int:
+    """Check every backtick-quoted reference in ``text``; returns the count
+    of references that matched a checked shape."""
+    # drop fenced code blocks: they hold shell sessions and pseudo-code
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    checked = 0
+    seen = set()
+    for match in BACKTICK.finditer(text):
+        # strip the Sphinx short-name marker (``~repro.spack.store.SolveCache``)
+        token = match.group(1).strip().lstrip("~")
+        if token in seen:
+            continue
+        seen.add(token)
+        reason = check_reference(token, corpus)
+        if reason is None:
+            if MODULE_PATH.match(token) or FUNCTION_CALL.match(token) or \
+                    CLASS_REF.match(token) or CONSTANT.match(token):
+                checked += 1
+        else:
+            failures.append((source.relative_to(REPO_ROOT), token, reason))
+    return checked
+
+
+def example_docstring(path: pathlib.Path) -> str:
+    """The module docstring of one example (empty when absent/unparsable)."""
+    try:
+        module = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return ""
+    return ast.get_docstring(module) or ""
 
 
 def main() -> int:
@@ -111,27 +150,14 @@ def main() -> int:
     for doc in DOC_FILES:
         if not doc.is_file():
             continue
-        text = doc.read_text(encoding="utf-8")
-        # drop fenced code blocks: they hold shell sessions and pseudo-code
-        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-        seen = set()
-        for match in BACKTICK.finditer(text):
-            token = match.group(1).strip()
-            if token in seen:
-                continue
-            seen.add(token)
-            reason = check_reference(token, corpus)
-            if reason is None:
-                if MODULE_PATH.match(token) or FUNCTION_CALL.match(token) or \
-                        CLASS_REF.match(token) or CONSTANT.match(token):
-                    checked += 1
-            else:
-                failures.append((doc.relative_to(REPO_ROOT), token, reason))
+        checked += scan_text(doc, doc.read_text(encoding="utf-8"), corpus, failures)
+    for example in EXAMPLE_FILES:
+        checked += scan_text(example, example_docstring(example), corpus, failures)
 
     for doc, token, reason in failures:
         print(f"FAIL {doc}: `{token}` — {reason}", file=sys.stderr)
-    print(f"checked {checked} code references across {len(DOC_FILES)} docs, "
-          f"{len(failures)} stale")
+    print(f"checked {checked} code references across {len(DOC_FILES)} docs "
+          f"and {len(EXAMPLE_FILES)} example docstrings, {len(failures)} stale")
     return 1 if failures else 0
 
 
