@@ -10,20 +10,25 @@ the pytest run and can be compared against the paper (see EXPERIMENTS.md).
 This module is also the **bench-trend** entry point CI uses to record the
 repository's performance trajectory::
 
-    PYTHONPATH=src python benchmarks/reporting.py --quick --output BENCH_4.json
+    PYTHONPATH=src python benchmarks/reporting.py --quick
 
 runs every ``--quick``-capable session benchmark as a subprocess, times it,
 collects the machine-readable tables it recorded, and writes one aggregate
-trend file (``BENCH_4.json``) whose schema is stable across PRs — so the
-perf trajectory is a diffable artifact instead of an empty placeholder.
+trend file ``BENCH_<n>.json`` — ``n`` derived from the ``BENCH_TREND_NUMBER``
+environment variable or the latest ``PR <n>`` line in ``CHANGES.md`` (see
+:func:`trend_number`), never hardcoded — whose schema is stable across PRs
+and which embeds a ``history`` summary of every *prior* ``BENCH_*.json``,
+so the perf trajectory reads as a curve instead of an empty placeholder.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 import platform
+import re
 import subprocess
 import sys
 import time
@@ -41,6 +46,7 @@ QUICK_BENCHMARKS = (
     "bench_parallel_session.py",
     "bench_sharded_repo.py",
     "bench_async_session.py",
+    "bench_service.py",
 )
 
 #: Schema version of the aggregate trend file.  Bump on layout changes so
@@ -94,6 +100,93 @@ def record(name: str, title: str, header: Sequence[str], rows: Iterable[Sequence
 # ---------------------------------------------------------------------------
 # The bench-trend runner
 # ---------------------------------------------------------------------------
+
+
+def trend_number() -> int:
+    """The PR number this trend run belongs to — *derived*, never hardcoded.
+
+    Resolution order:
+
+    1. the ``BENCH_TREND_NUMBER`` environment variable (CI sets it from the
+       PR/issue number);
+    2. the highest ``PR <n>`` recorded in ``CHANGES.md`` (every merged PR
+       appends one line there, so a local run after updating CHANGES.md
+       reproduces exactly the file CI will emit);
+    3. 1, when neither exists (a fresh checkout before any PR landed).
+    """
+    override = os.environ.get("BENCH_TREND_NUMBER")
+    if override:
+        try:
+            return int(override)
+        except ValueError:
+            print(
+                f"[bench-trend] ignoring non-integer BENCH_TREND_NUMBER={override!r}",
+                file=sys.stderr,
+            )
+    changes = os.path.join(REPO_ROOT, "CHANGES.md")
+    numbers = []
+    try:
+        with open(changes) as stream:
+            for line in stream:
+                match = re.match(r"^PR (\d+)\b", line.strip())
+                if match:
+                    numbers.append(int(match.group(1)))
+    except OSError:
+        pass
+    return max(numbers) if numbers else 1
+
+
+def default_trend_path() -> str:
+    """``<repo>/BENCH_<n>.json`` for the current :func:`trend_number`."""
+    return os.path.join(REPO_ROOT, f"BENCH_{trend_number()}.json")
+
+
+def collect_history() -> List[Dict]:
+    """Summaries of every prior ``BENCH_*.json``, oldest first.
+
+    This is what turns a pile of per-PR artifacts into a *trajectory*:
+    each entry carries the PR number, benchmark count/status, and total
+    quick-sweep wall time, so the current trend file shows the whole curve.
+    Missing, empty, or corrupt prior files are tolerated (recorded as
+    ``"unreadable"`` entries rather than aborting or — worse — silently
+    yielding an empty history).
+    """
+    history: List[Dict] = []
+    for path in sorted(
+        glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")),
+        key=lambda p: _bench_number(p),
+    ):
+        number = _bench_number(path)
+        if number is None:
+            continue
+        entry: Dict = {"pr": number, "file": os.path.basename(path)}
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            entry["status"] = "unreadable"
+            history.append(entry)
+            continue
+        if not isinstance(payload, dict) or not payload.get("benchmarks"):
+            entry["status"] = "empty"
+            history.append(entry)
+            continue
+        benchmarks = payload["benchmarks"]
+        entry["status"] = (
+            "ok" if all(b.get("status") == "ok" for b in benchmarks) else "fail"
+        )
+        entry["benchmarks"] = len(benchmarks)
+        entry["total_wall_time_s"] = round(
+            sum(b.get("wall_time_s", 0) for b in benchmarks), 3
+        )
+        entry["generated_utc"] = payload.get("generated_utc")
+        history.append(entry)
+    return history
+
+
+def _bench_number(path: str) -> Optional[int]:
+    match = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+    return int(match.group(1)) if match else None
 
 
 def run_quick_benchmarks(scripts: Sequence[str] = QUICK_BENCHMARKS) -> List[Dict]:
@@ -162,15 +255,25 @@ def collect_tables(since: Optional[float] = None) -> Dict[str, Dict]:
 
 
 def write_trend(output: str, entries: List[Dict], since: Optional[float] = None) -> Dict:
-    """Aggregate run entries + recorded tables into one trend file."""
+    """Aggregate run entries + recorded tables + prior history into one
+    trend file.  The output file itself is excluded from the history, so
+    re-running the sweep is idempotent (the current run never summarizes a
+    stale copy of itself)."""
+    history = [
+        entry
+        for entry in collect_history()
+        if entry.get("file") != os.path.basename(output)
+    ]
     trend = {
         "schema": TREND_SCHEMA,
         "source": "benchmarks/reporting.py --quick",
+        "pr": trend_number(),
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benchmarks": entries,
         "tables": collect_tables(since=since),
+        "history": history,
     }
     with open(output, "w") as stream:
         json.dump(trend, stream, indent=2, sort_keys=True)
@@ -187,18 +290,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--output",
-        default=os.path.join(REPO_ROOT, "BENCH_4.json"),
-        help="path of the aggregate trend file (default: BENCH_4.json)",
+        default=None,
+        help="path of the aggregate trend file (default: BENCH_<n>.json "
+        "where n comes from BENCH_TREND_NUMBER or CHANGES.md; see "
+        "trend_number)",
     )
     args = parser.parse_args(argv)
     if not args.quick:
         parser.error("nothing to do: pass --quick to run the trend sweep")
+    output = args.output or default_trend_path()
     sweep_start = time.time()
     entries = run_quick_benchmarks()
-    write_trend(args.output, entries, since=sweep_start)
+    write_trend(output, entries, since=sweep_start)
     failures = [e for e in entries if e["status"] != "ok"]
     print(
-        f"[bench-trend] wrote {args.output}: {len(entries) - len(failures)}/"
+        f"[bench-trend] wrote {output}: {len(entries) - len(failures)}/"
         f"{len(entries)} benchmarks ok"
     )
     return 1 if failures else 0

@@ -176,10 +176,21 @@ class AsyncConcretizationSession:
         Element-wise identical to ``ConcretizationSession.solve(specs)`` —
         the work just runs off the event loop, bounded by
         ``max_concurrency``.
+
+        The underlying :meth:`as_completed` stream is explicitly closed on
+        *every* exit — including cancellation of the awaiting task (e.g. a
+        service deadline firing via ``asyncio.wait_for``) — so leased
+        semaphore permits and in-flight executor futures are released
+        deterministically, not whenever the garbage collector notices the
+        abandoned generator.
         """
         results: List[Optional[ConcretizationResult]] = [None] * len(specs)
-        async for index, result in self.as_completed(specs):
-            results[index] = result
+        stream = self.as_completed(specs)
+        try:
+            async for index, result in stream:
+                results[index] = result
+        finally:
+            await stream.aclose()
         return results
 
     async def as_completed(

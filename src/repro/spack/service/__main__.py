@@ -1,0 +1,45 @@
+"""CLI entry point: ``python -m repro.spack.service [--host H] [--port P]``.
+
+Serves the builtin catalog as the ``default`` tenant.  Options mirror the
+:class:`~repro.spack.service.app.ConcretizationService` constructor knobs
+that matter operationally (concurrency, queue depth, default deadline).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.spack.service.app import ConcretizationService
+from repro.spack.service.http import serve
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.spack.service",
+        description="Serve the ASP concretizer over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--max-concurrency", type=int, default=4)
+    parser.add_argument("--queue-limit", type=int, default=8)
+    parser.add_argument("--deadline", type=float, default=30.0,
+                        help="default per-request deadline in seconds")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent solve/ground cache directory")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    session_kwargs = {"cache_dir": args.cache_dir} if args.cache_dir else None
+    service = ConcretizationService(
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline,
+        session_kwargs=session_kwargs,
+    )
+    serve(args.host, args.port, service=service, verbose=not args.quiet)
+    service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,602 @@
+"""The transport-independent core of the concretization service.
+
+:class:`ConcretizationService` fronts one
+:class:`~repro.spack.concretize.async_session.AsyncConcretizationSession`
+per tenant with the three behaviors a real multi-user deployment needs:
+
+* **deadlines** — every request carries a deadline in seconds (its own, or
+  the service default).  The solve runs under ``asyncio.wait_for``; hitting
+  the deadline *cancels* the in-flight work through the async session's
+  cancellation machinery (leased workers are returned, pending pool futures
+  cancelled — nothing leaks) and surfaces as
+  :class:`DeadlineExceededError` (HTTP 504);
+* **backpressure** — a bounded admission queue maps onto the session's
+  ``max_concurrency``: at most ``max_concurrency + queue_limit`` requests
+  may be in flight (admitted requests beyond ``max_concurrency`` wait on
+  the session semaphore); one more is shed immediately with
+  :class:`OverloadedError` (HTTP 429 + ``Retry-After``) instead of queueing
+  without bound;
+* **per-tenant catalogs** — each registered tenant gets its own composed
+  repository via :meth:`~repro.spack.repo.ShardedRepository.compose`
+  (tenant overlay shards layered *over* the shared base catalog), its own
+  session, and its own solve cache.  Because overlay shards ground last,
+  the base catalog's ground layers are shared across every tenant through
+  the process-wide layer memo, and a tenant editing its overlay re-grounds
+  exactly one layer — warm per-tenant state stays cheap (see
+  ``docs/CACHING.md``).
+
+The service owns a private asyncio event loop on a daemon thread; transport
+handlers (one thread per HTTP request in
+:mod:`repro.spack.service.http`) submit coroutines to it with
+``asyncio.run_coroutine_threadsafe`` and block on the result.  All session
+state therefore mutates on a single loop thread, exactly like a normal
+async-session consumer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from contextlib import aclosing
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+
+from repro.spack.concretize.async_session import AsyncConcretizationSession
+from repro.spack.concretize.concretizer import ConcretizationResult
+from repro.spack.concretize.session import ConcretizationSession
+from repro.spack.errors import (
+    SpackError,
+    SpecSyntaxError,
+    UnknownPackageError,
+    UnsatisfiableSpecError,
+)
+from repro.spack.package import PackageBase
+from repro.spack.repo import Repository, RepositoryShard, ShardedRepository, builtin_repository
+from repro.spack.spec import Spec
+from repro.spack.spec_parser import parse_spec
+
+#: Name under which requests without a tenant resolve (the shared base
+#: catalog, no overlay).
+DEFAULT_TENANT = "default"
+
+
+# ---------------------------------------------------------------------------
+# Service-level errors (each knows its HTTP status)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(SpackError):
+    """Base class for request-level service failures."""
+
+    status = 500
+
+    def payload(self) -> Dict[str, object]:
+        return {"error": str(self), "status": self.status}
+
+
+class BadRequestError(ServiceError):
+    """Malformed request: unparsable spec, bad deadline, bad body (400)."""
+
+    status = 400
+
+
+class UnknownTenantError(ServiceError):
+    """The request names a tenant that was never registered (404)."""
+
+    status = 404
+
+    def __init__(self, tenant: str):
+        super().__init__(f"unknown tenant {tenant!r}")
+        self.tenant = tenant
+
+
+class OverloadedError(ServiceError):
+    """The admission queue is full; shed load instead of queueing (429)."""
+
+    status = 429
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"admission queue full, retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed; its solve was cancelled (504)."""
+
+    status = 504
+
+    def __init__(self, deadline_s: float):
+        super().__init__(f"deadline of {deadline_s:g}s exceeded")
+        self.deadline_s = deadline_s
+
+
+class UnsolvableError(ServiceError):
+    """The spec parsed but cannot be concretized (422)."""
+
+    status = 422
+
+
+# ---------------------------------------------------------------------------
+# Tenants
+# ---------------------------------------------------------------------------
+
+
+class TenantState:
+    """One tenant's composed catalog and its (async) session."""
+
+    def __init__(
+        self,
+        name: str,
+        repo: Repository,
+        *,
+        max_concurrency: int,
+        worker_backend: str,
+        session_kwargs: Optional[Dict] = None,
+    ):
+        self.name = name
+        self.repo = repo
+        self.session = ConcretizationSession(
+            repo=repo, worker_backend=worker_backend, **(session_kwargs or {})
+        )
+        self.async_session = AsyncConcretizationSession(
+            session=self.session, max_concurrency=max_concurrency
+        )
+        self.overlay: Optional[ShardedRepository] = None
+        self.requests = 0
+
+    def statistics(self) -> Dict[str, object]:
+        stats: Dict[str, object] = {
+            "requests": self.requests,
+            "catalog": self.repo.name,
+            "packages": len(self.repo),
+        }
+        stats.update(self.session.stats.as_dict())
+        stats["solve_cache"] = self.session.solve_cache.statistics()
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class ConcretizationService:
+    """Deadline- and backpressure-aware front end over per-tenant sessions.
+
+    Parameters:
+
+    * ``base_repo`` — the shared base catalog every tenant composes over
+      (default: :func:`~repro.spack.repo.builtin_repository`);
+    * ``max_concurrency`` — solver concurrency bound per tenant session
+      (the async session's semaphore);
+    * ``queue_limit`` — how many admitted requests may *wait* beyond
+      ``max_concurrency`` before new ones are shed with 429;
+    * ``default_deadline_s`` — deadline applied when a request carries none;
+    * ``retry_after_s`` — the hint returned with 429 responses;
+    * ``worker_backend`` — backend for the underlying sessions.  Defaults to
+      ``"thread"``: the service process runs many transport threads, and
+      forking a process pool out of a threaded server is a foot-gun;
+    * ``session_kwargs`` — extra :class:`ConcretizationSession` keyword
+      arguments applied to every tenant session (e.g. ``cache_dir``).
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        base_repo: Optional[Repository] = None,
+        *,
+        max_concurrency: int = 4,
+        queue_limit: int = 8,
+        default_deadline_s: float = 30.0,
+        retry_after_s: float = 1.0,
+        worker_backend: str = "thread",
+        session_kwargs: Optional[Dict] = None,
+    ):
+        if int(max_concurrency) < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency!r}")
+        if int(queue_limit) < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit!r}")
+        self.base_repo = base_repo if base_repo is not None else builtin_repository()
+        self.max_concurrency = int(max_concurrency)
+        self.queue_limit = int(queue_limit)
+        self.default_deadline_s = float(default_deadline_s)
+        self.retry_after_s = float(retry_after_s)
+        self.worker_backend = worker_backend
+        self.session_kwargs = dict(session_kwargs or {})
+
+        self._admission = threading.Semaphore(self.max_concurrency + self.queue_limit)
+        self._lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "admitted": 0,
+            "completed": 0,
+            "rejected_overload": 0,
+            "deadline_exceeded": 0,
+            "parse_errors": 0,
+            "unsolvable": 0,
+            "in_flight": 0,
+            "specs_concretized": 0,
+        }
+
+        self._tenants: Dict[str, TenantState] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+        self._closed = False
+        self.add_tenant(DEFAULT_TENANT)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ConcretizationService":
+        """Start the private event-loop thread (idempotent)."""
+        if self._started and not self._closed:
+            return self
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+            loop.call_soon(ready.set)
+            loop.run_forever()
+            # drain: close abandoned async generators before the loop dies
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        self._loop = loop
+        self._thread = threading.Thread(
+            target=run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        self._started = True
+        self._closed = False
+        return self
+
+    def close(self) -> None:
+        """Stop the loop thread and release every tenant session."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        loop = self._loop
+
+        async def shutdown():
+            for state in self._tenants.values():
+                await state.async_session.aclose()
+
+        try:
+            asyncio.run_coroutine_threadsafe(shutdown(), loop).result(timeout=10)
+        except Exception:
+            pass  # best effort: closing must never raise
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._closed = True
+
+    def __enter__(self) -> "ConcretizationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- tenants --------------------------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        packages: Iterable[Type[PackageBase]] = (),
+        overlay: Optional[Repository] = None,
+    ) -> TenantState:
+        """Register a tenant catalog composed over the shared base.
+
+        ``packages`` become the tenant's overlay shard; alternatively pass a
+        ready-made ``overlay`` repository.  With neither, the tenant serves
+        the base catalog as-is (still useful: it gets its own solve cache
+        and statistics).  The composed repository layers overlay shards
+        *after* the base shards, so every tenant shares the base ground
+        layers and a tenant overlay edit re-grounds exactly one layer.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} is already registered")
+        packages = list(packages)
+        if overlay is None and packages:
+            overlay = ShardedRepository(
+                name=name, shards=[RepositoryShard(f"{name}-overlay", packages)]
+            )
+        if overlay is None:
+            repo: Repository = self.base_repo
+        else:
+            repo = ShardedRepository.compose(overlay, self.base_repo)
+        state = TenantState(
+            name,
+            repo,
+            max_concurrency=self.max_concurrency,
+            worker_backend=self.worker_backend,
+            session_kwargs=self.session_kwargs,
+        )
+        state.overlay = overlay if isinstance(overlay, ShardedRepository) else None
+        self._tenants[name] = state
+        return state
+
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def _tenant(self, name: Optional[str]) -> TenantState:
+        state = self._tenants.get(name or DEFAULT_TENANT)
+        if state is None:
+            raise UnknownTenantError(name)
+        return state
+
+    # -- request plumbing ----------------------------------------------
+
+    def _count(self, key: str, delta: int = 1) -> None:
+        with self._lock:
+            self.counters[key] += delta
+
+    def _parse_specs(self, texts: Sequence[str]) -> List[Spec]:
+        if not texts:
+            raise BadRequestError("empty batch: no specs to concretize")
+        specs: List[Spec] = []
+        for text in texts:
+            if not isinstance(text, str) or not text.strip():
+                self._count("parse_errors")
+                raise BadRequestError(f"empty or non-string spec: {text!r}")
+            try:
+                specs.append(parse_spec(text))
+            except SpecSyntaxError as exc:
+                self._count("parse_errors")
+                raise BadRequestError(f"unparsable spec {text!r}: {exc}") from exc
+            except SpackError as exc:
+                self._count("parse_errors")
+                raise BadRequestError(f"invalid spec {text!r}: {exc}") from exc
+        return specs
+
+    def _deadline(self, deadline_s: Optional[float]) -> float:
+        if deadline_s is None:
+            return self.default_deadline_s
+        try:
+            deadline = float(deadline_s)
+        except (TypeError, ValueError):
+            raise BadRequestError(f"deadline must be a number, got {deadline_s!r}") from None
+        if deadline <= 0:
+            raise BadRequestError(f"deadline must be > 0 seconds, got {deadline!r}")
+        return deadline
+
+    def _admit(self) -> None:
+        if not self._admission.acquire(blocking=False):
+            self._count("rejected_overload")
+            raise OverloadedError(self.retry_after_s)
+        self._count("admitted")
+        self._count("in_flight")
+
+    def _release(self) -> None:
+        self._admission.release()
+        self._count("in_flight", -1)
+
+    @staticmethod
+    def _map_solve_error(exc: BaseException) -> ServiceError:
+        if isinstance(exc, ServiceError):
+            return exc
+        if isinstance(exc, UnknownPackageError):
+            return UnsolvableError(str(exc))
+        if isinstance(exc, UnsatisfiableSpecError):
+            return UnsolvableError(str(exc))
+        if isinstance(exc, SpackError):
+            return UnsolvableError(str(exc))
+        raise exc  # genuinely unexpected: let the transport return 500
+
+    def _result_payload(
+        self, index: int, text: str, result: ConcretizationResult
+    ) -> Dict[str, object]:
+        session_stats = result.statistics.get("session")
+        cache = (
+            session_stats.get("solve_cache")
+            if isinstance(session_stats, dict)
+            else None
+        )
+        return {
+            "index": index,
+            "spec": text,
+            "concrete": str(result.spec),
+            "dag_hash": result.spec.dag_hash(),
+            "nodes": len(result.specs),
+            "built": sorted(result.built),
+            "reused": sorted(result.reused),
+            "solve_cache": cache,
+        }
+
+    # -- solving --------------------------------------------------------
+
+    async def _run_batch(
+        self, state: TenantState, specs: List[Spec], deadline_s: float
+    ) -> List[ConcretizationResult]:
+        try:
+            return await asyncio.wait_for(
+                state.async_session.concretize_batch(specs), timeout=deadline_s
+            )
+        except asyncio.TimeoutError:
+            # wait_for cancelled the batch task before raising: the async
+            # session's cleanup already returned the leased workers
+            raise DeadlineExceededError(deadline_s) from None
+
+    def _check_running(self) -> None:
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running (call start() first)")
+
+    def _submit(self, coro) -> object:
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result()
+        except BaseException:
+            future.cancel()
+            raise
+
+    def concretize(
+        self,
+        spec: str,
+        *,
+        tenant: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Concretize one spec; the ``POST /v1/concretize`` core."""
+        return self.concretize_batch(
+            [spec], tenant=tenant, deadline_s=deadline_s
+        )["results"][0]
+
+    def concretize_batch(
+        self,
+        specs: Sequence[str],
+        *,
+        tenant: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Concretize a batch (input order); ``POST /v1/concretize_batch``."""
+        self._check_running()
+        self._count("requests")
+        state = self._tenant(tenant)
+        parsed = self._parse_specs(list(specs))
+        deadline = self._deadline(deadline_s)
+        self._admit()
+        try:
+            state.requests += 1
+            try:
+                results = self._submit(self._run_batch(state, parsed, deadline))
+            except DeadlineExceededError:
+                self._count("deadline_exceeded")
+                raise
+            except Exception as exc:
+                mapped = self._map_solve_error(exc)
+                self._count("unsolvable")
+                raise mapped from exc
+            self._count("completed")
+            self._count("specs_concretized", len(results))
+            return {
+                "tenant": state.name,
+                "deadline_s": deadline,
+                "results": [
+                    self._result_payload(index, str(specs[index]), result)
+                    for index, result in enumerate(results)
+                ],
+            }
+        finally:
+            self._release()
+
+    # -- streaming ------------------------------------------------------
+
+    async def _pump(
+        self,
+        state: TenantState,
+        texts: List[str],
+        specs: List[Spec],
+        deadline_s: float,
+        out: "queue.Queue",
+    ) -> None:
+        """Drive ``as_completed`` on the loop, feeding a thread-safe queue.
+
+        The stream is consumed under ``aclosing`` so *any* exit — deadline
+        cancellation, a solver error, the transport dropping the connection
+        — deterministically closes the generator and returns the leased
+        workers.
+        """
+        try:
+            async def consume():
+                async with aclosing(
+                    state.async_session.as_completed(specs)
+                ) as stream:
+                    async for index, result in stream:
+                        self._count("specs_concretized")
+                        out.put(
+                            ("result", self._result_payload(index, texts[index], result))
+                        )
+
+            await asyncio.wait_for(consume(), timeout=deadline_s)
+        except asyncio.TimeoutError:
+            self._count("deadline_exceeded")
+            out.put(("error", DeadlineExceededError(deadline_s).payload()))
+        except asyncio.CancelledError:
+            out.put(("error", {"error": "stream cancelled", "status": 499}))
+            raise
+        except Exception as exc:  # solver/encode errors end the stream
+            try:
+                mapped = self._map_solve_error(exc)
+            except BaseException:
+                out.put(("error", {"error": f"internal error: {exc}", "status": 500}))
+            else:
+                self._count("unsolvable")
+                out.put(("error", mapped.payload()))
+        else:
+            self._count("completed")
+            out.put(("end", {"status": "ok", "results": len(specs)}))
+
+    def stream_batch(
+        self,
+        specs: Sequence[str],
+        *,
+        tenant: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> Iterator[Dict[str, object]]:
+        """Yield per-result records in *completion* order, then a summary.
+
+        Admission and parsing happen before the first record (so overload
+        and bad requests surface as plain error responses); afterwards the
+        caller receives ``{"index", "spec", "concrete", ...}`` records as
+        solves finish, terminated by either ``{"status": "ok"}`` or an
+        error record (e.g. a mid-stream deadline).  Abandoning the iterator
+        cancels the in-flight work.
+        """
+        self._check_running()
+        self._count("requests")
+        state = self._tenant(tenant)
+        texts = [str(text) for text in specs]
+        parsed = self._parse_specs(texts)
+        deadline = self._deadline(deadline_s)
+        self._admit()
+
+        def generate() -> Iterator[Dict[str, object]]:
+            out: "queue.Queue" = queue.Queue()
+            state.requests += 1
+            future = asyncio.run_coroutine_threadsafe(
+                self._pump(state, texts, parsed, deadline, out), self._loop
+            )
+            try:
+                while True:
+                    kind, payload = out.get()
+                    yield payload
+                    if kind != "result":
+                        break
+                future.result(timeout=10)
+            finally:
+                future.cancel()
+                self._release()
+
+        return generate()
+
+    # -- introspection --------------------------------------------------
+
+    def healthz(self) -> Dict[str, object]:
+        return {
+            "status": "ok" if self._started and not self._closed else "stopped",
+            "tenants": self.tenants(),
+            "max_concurrency": self.max_concurrency,
+            "queue_limit": self.queue_limit,
+        }
+
+    def statistics(self) -> Dict[str, object]:
+        """Service counters plus per-tenant session/cache statistics."""
+        with self._lock:
+            counters = dict(self.counters)
+        return {
+            "service": {
+                **counters,
+                "max_concurrency": self.max_concurrency,
+                "queue_limit": self.queue_limit,
+                "default_deadline_s": self.default_deadline_s,
+            },
+            "tenants": {
+                name: state.statistics() for name, state in self._tenants.items()
+            },
+        }

@@ -19,7 +19,7 @@ from __future__ import annotations
 import re
 from typing import List, Optional
 
-from repro.spack.errors import SpecSyntaxError
+from repro.spack.errors import SpecSyntaxError, VersionError
 from repro.spack.spec import Spec, normalize_variant_value
 from repro.spack.version import parse_version_constraint
 
@@ -55,6 +55,8 @@ class _SpecLexer:
 
 def parse_spec(text: str) -> Spec:
     """Parse a single spec string (possibly with ``^dependency`` constraints)."""
+    if not text or not text.strip():
+        raise SpecSyntaxError(f"empty spec string: {text!r}")
     specs = parse_specs(text)
     if len(specs) != 1:
         raise SpecSyntaxError(f"expected exactly one spec in {text!r}, found {len(specs)}")
@@ -104,7 +106,7 @@ def parse_specs(text: str) -> List[Spec]:
             lexer.pos += 1
             node = ensure_node()
             constraint = lexer.take(_VERSION_RE, "a version constraint")
-            node.versions = node.versions.constrain(parse_version_constraint(constraint))
+            node.versions = node.versions.constrain(_parse_versions(constraint, text))
             continue
 
         if char == "%":
@@ -118,7 +120,7 @@ def parse_specs(text: str) -> List[Spec]:
                 lexer.pos += 1
                 constraint = lexer.take(_VERSION_RE, "a compiler version")
                 node.compiler_versions = node.compiler_versions.constrain(
-                    parse_version_constraint(constraint)
+                    _parse_versions(constraint, text)
                 )
             continue
 
@@ -126,6 +128,10 @@ def parse_specs(text: str) -> List[Spec]:
             lexer.pos += 1
             node = ensure_node()
             name = lexer.take(_NAME_RE, "a variant name")
+            if name in node.variants:
+                raise SpecSyntaxError(
+                    f"variant {name!r} assigned twice on one node in {text!r}"
+                )
             node.variants[name] = "true" if char == "+" else "false"
             continue
 
@@ -135,7 +141,7 @@ def parse_specs(text: str) -> List[Spec]:
                 lexer.pos += 1
                 value = lexer.take(_VALUE_RE, "a value")
                 node = ensure_node()
-                _assign_keyvalue(node, word, value)
+                _assign_keyvalue(node, word, value, text)
                 continue
             # A bare word: the name of a (new) spec.
             if current_node is None or current_node.name is not None or current_node is not current_root:
@@ -152,19 +158,50 @@ def parse_specs(text: str) -> List[Spec]:
     return roots
 
 
-def _assign_keyvalue(node: Spec, key: str, value: str):
+def _parse_versions(constraint: str, text: str):
+    """Parse one ``@...`` constraint, surfacing malformed input as a parse
+    error (the version layer's :class:`VersionError` is an internal detail a
+    caller feeding raw user strings should never see)."""
+    try:
+        return parse_version_constraint(constraint)
+    except VersionError as exc:
+        raise SpecSyntaxError(
+            f"bad version constraint {constraint!r} in {text!r}: {exc}"
+        ) from exc
+
+
+def _assign_keyvalue(node: Spec, key: str, value: str, text: str = ""):
+    """Fold one ``key=value`` sigil into ``node``.
+
+    Duplicate assignments on the same node (``target=`` twice, ``+shared``
+    then ``shared=false``, ``threads=none threads=openmp``) are rejected as
+    syntax errors rather than silently last-one-wins: a user joining spec
+    fragments almost certainly meant something else, and real Spack rejects
+    them too.
+    """
+    where = f" in {text!r}" if text else ""
     if key == "target":
+        if node.target is not None:
+            raise SpecSyntaxError(f"'target' assigned twice on one node{where}")
         node.target = value
     elif key == "os":
+        if node.os is not None:
+            raise SpecSyntaxError(f"'os' assigned twice on one node{where}")
         node.os = value
     elif key == "arch":
         # arch=<platform>-<os>-<target>
         parts = value.split("-")
         if len(parts) != 3:
             raise SpecSyntaxError(f"arch must look like linux-rhel7-skylake, got {value!r}")
+        if node.os is not None or node.target is not None:
+            raise SpecSyntaxError(f"'arch' conflicts with an earlier os/target{where}")
         node.os = parts[1]
         node.target = parts[2]
     else:
+        if key in node.variants:
+            raise SpecSyntaxError(
+                f"variant {key!r} assigned twice on one node{where}"
+            )
         if "," in value:
             node.variants[key] = normalize_variant_value(tuple(value.split(",")))
         else:

@@ -30,6 +30,7 @@ stale result.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -343,14 +344,21 @@ class _DiskCacheLayer:
     def path_for(self, token: str) -> str:
         return os.path.join(self.directory, _cache_file_digest(token) + self.suffix)
 
+    #: ``errno`` values meaning "the file is gone", not "the file is bad":
+    #: a concurrent pruner (this process or another one pointed at the same
+    #: directory) can unlink an entry at any moment, which surfaces as
+    #: ``ENOENT`` — or ``ESTALE`` on NFS, where the unlinked file's handle
+    #: goes stale *between* ``open`` and ``read``.  Both classify as a miss.
+    _VANISHED_ERRNOS = frozenset({errno.ENOENT, errno.ESTALE})
+
     def load(self, token: str) -> Tuple[str, object]:
         path = self.path_for(token)
         try:
             with open(path, "rb") as handle:
                 data = handle.read()
-        except FileNotFoundError:
-            return ("miss", None)
-        except OSError:
+        except OSError as exc:
+            if exc.errno in self._VANISHED_ERRNOS:
+                return ("miss", None)  # pruned concurrently: an ordinary miss
             return ("error", None)
         try:
             envelope = self.codec.loads(data)
@@ -362,11 +370,22 @@ class _DiskCacheLayer:
             or envelope.get("key") != token
         ):
             return ("miss", None)
+        self._touch(path)
+        return ("hit", envelope.get("payload"))
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh LRU recency after a hit (best effort).
+
+        Runs *after* the payload was fully read, so a concurrent pruner
+        unlinking the entry between ``read`` and here costs nothing: the hit
+        stands on the bytes already in hand, and the vanished file simply
+        keeps its old recency until the next write re-creates it.
+        """
         try:
-            os.utime(path)  # refresh LRU recency (best effort)
+            os.utime(path)
         except OSError:
             pass
-        return ("hit", envelope.get("payload"))
 
     def store(self, token: str, payload) -> Tuple[bool, int]:
         """Best-effort write; (True on success, entries pruned)."""

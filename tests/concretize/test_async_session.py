@@ -20,6 +20,8 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import os
+import time
+from contextlib import aclosing
 
 import pytest
 
@@ -227,6 +229,56 @@ def test_closing_the_generator_early_cleans_up(micro_repo):
     index, _sig, follow_up = run(go(), timeout=60)
     assert 0 <= index < len(BATCH)
     assert follow_up.spec.name == "example"
+
+
+def test_deadline_cancelled_batch_restores_full_concurrency(micro_repo, monkeypatch):
+    """The service deadline path: ``asyncio.wait_for`` cancels a
+    ``concretize_batch`` mid-flight.  The batch must close its stream on the
+    way out — every leased semaphore permit back *immediately* (not at GC
+    time), so the next batch on the same session gets full concurrency."""
+    original = ConcretizationSession._solve_uncached
+    slow = [True]
+
+    def maybe_slow(self, spec, worker=False):
+        if slow[0]:
+            time.sleep(0.5)
+        return original(self, spec, worker=worker)
+
+    monkeypatch.setattr(ConcretizationSession, "_solve_uncached", maybe_slow)
+
+    async def go():
+        async with make_async(micro_repo, max_concurrency=2) as session:
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(session.concretize_batch(BATCH), timeout=0.15)
+            # deterministic cleanup: all permits are already back
+            assert session._semaphore._value == session.max_concurrency
+            slow[0] = False
+            results = await session.concretize_batch(["example@1.0.0"])
+            return [str(r.spec.versions) for r in results]
+
+    assert run(go(), timeout=60) == ["1.0.0"]
+
+
+def test_abandoned_stream_with_aclosing_restores_full_concurrency(micro_repo):
+    """Breaking out of an ``async for`` abandons the generator mid-batch;
+    the ``aclosing`` discipline (what the service uses) must cancel the
+    in-flight tasks and return every leased permit before continuing."""
+
+    async def go():
+        async with make_async(micro_repo, max_concurrency=2) as session:
+            seen = []
+            async with aclosing(session.as_completed(BATCH)) as stream:
+                async for index, _result in stream:
+                    seen.append(index)
+                    break  # abandon with most of the batch still in flight
+            assert session._semaphore._value == session.max_concurrency
+            # a follow-up batch runs at full concurrency and full correctness
+            results = await session.concretize_batch(["example@1.0.0", "example@1.1.0"])
+            return seen, [str(r.spec.versions) for r in results]
+
+    seen, versions = run(go(), timeout=60)
+    assert len(seen) == 1
+    assert versions == ["1.0.0", "1.1.0"]
 
 
 # ---------------------------------------------------------------------------

@@ -472,3 +472,110 @@ def test_prune_reaps_stale_tmp_files_but_not_live_ones(tmp_path):
     assert not orphan.exists()
     assert live.exists()
     assert cache.get(("a",)) is not None and cache.get(("b",)) is not None
+
+
+# ---------------------------------------------------------------------------
+# Concurrent-pruner races (a file vanishing mid-load is a miss, not an error)
+# ---------------------------------------------------------------------------
+
+
+def _loaded_layer(tmp_path):
+    """A bare _DiskCacheLayer with one valid entry; returns (layer, token)."""
+    from repro.spack.store import _DiskCacheLayer, _JsonCodec
+
+    layer = _DiskCacheLayer(str(tmp_path), "solve", ".json", _JsonCodec)
+    ok, _ = layer.store("token", {"answer": 42})
+    assert ok
+    assert layer.load("token") == ("hit", {"answer": 42})
+    return layer, "token"
+
+
+def test_vanished_before_open_is_a_miss(tmp_path):
+    layer, token = _loaded_layer(tmp_path)
+    os.unlink(layer.path_for(token))  # the concurrent pruner got there first
+    assert layer.load(token) == ("miss", None)
+
+
+def test_stale_handle_mid_read_is_a_miss(tmp_path, monkeypatch):
+    """NFS flavor of the same race: the pruner unlinks after ``open``
+    succeeded, so the *read* fails with ESTALE — still a miss, never an
+    'error' (which would count as corruption in the cache statistics)."""
+    import builtins
+    import errno
+
+    layer, token = _loaded_layer(tmp_path)
+    target = layer.path_for(token)
+    real_open = builtins.open
+
+    def stale_open(file, *args, **kwargs):
+        if file == target:
+            raise OSError(errno.ESTALE, "Stale file handle", file)
+        return real_open(file, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", stale_open)
+    assert layer.load(token) == ("miss", None)
+
+
+def test_genuinely_unreadable_entry_is_still_an_error(tmp_path, monkeypatch):
+    """The miss classification is scoped to vanish flavors: a real I/O error
+    (EIO and friends) still classifies as corruption."""
+    import builtins
+    import errno
+
+    layer, token = _loaded_layer(tmp_path)
+    target = layer.path_for(token)
+    real_open = builtins.open
+
+    def broken_open(file, *args, **kwargs):
+        if file == target:
+            raise OSError(errno.EIO, "Input/output error", file)
+        return real_open(file, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", broken_open)
+    assert layer.load(token) == ("error", None)
+
+
+def test_utime_race_after_read_keeps_the_hit(tmp_path, monkeypatch):
+    """The LRU refresh races the pruner *after* the payload was read: the
+    entry vanishing under ``os.utime`` must not demote the hit (the bytes
+    are already in hand)."""
+    layer, token = _loaded_layer(tmp_path)
+    target = layer.path_for(token)
+    real_utime = os.utime
+
+    def pruned_utime(path, *args, **kwargs):
+        if path == target:
+            os.unlink(target)  # the pruner wins the race ...
+            return real_utime(path, *args, **kwargs)  # ... and utime explodes
+        return real_utime(path, *args, **kwargs)
+
+    monkeypatch.setattr(os, "utime", pruned_utime)
+    assert layer.load(token) == ("hit", {"answer": 42})
+    assert not os.path.exists(target)  # the pruner really did win
+
+
+def test_solve_cache_counts_vanished_entry_as_miss_not_error(
+    micro_repo, tmp_path, monkeypatch
+):
+    """End to end through PersistentSolveCache: a concurrently pruned file
+    surfaces as an ordinary disk miss in the statistics, not a load error."""
+    import builtins
+    import errno
+
+    warm = fresh_session(micro_repo, tmp_path)
+    warm.solve(["example"])
+    [entry] = solve_files(tmp_path)
+
+    real_open = builtins.open
+
+    def stale_open(file, *args, **kwargs):
+        if file == entry:
+            raise OSError(errno.ESTALE, "Stale file handle", file)
+        return real_open(file, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "open", stale_open)
+    cold = PersistentSolveCache(str(tmp_path))
+    assert cold.get(warm._solve_key(warm._as_specs(["example"])[0])) is None
+    stats = cold.statistics()
+    assert stats["load_errors"] == 0
+    assert stats["disk_misses"] == 1

@@ -1,7 +1,9 @@
 """Property-based tests for the Spack layer (hypothesis)."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.spack.errors import SpecSyntaxError
 from repro.spack.spec import Spec
 from repro.spack.spec_parser import parse_spec
 from repro.spack.version import Version, VersionRange, parse_version_constraint
@@ -120,3 +122,51 @@ def test_dag_hash_is_deterministic(spec):
     concrete.mark_concrete()
     duplicate = concrete.copy().mark_concrete()
     assert concrete.dag_hash() == duplicate.dag_hash()
+
+
+# ---------------------------------------------------------------------------
+# Parser robustness (the service boundary: clean errors, never a crash)
+# ---------------------------------------------------------------------------
+
+# the full sigil alphabet plus whitespace and junk — everything a client
+# might paste into a concretize request
+spec_soup = st.text(
+    alphabet="abz019._-@%+~^=:, \t{}$!",
+    max_size=40,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec_soup)
+def test_parse_spec_returns_a_spec_or_raises_spec_syntax_error(text):
+    """The property HTTP 400 mapping rests on: any string either parses into
+    a Spec or raises SpecSyntaxError — no other exception type ever escapes
+    (a bare VersionError or KeyError would crash a service worker)."""
+    try:
+        spec = parse_spec(text)
+    except SpecSyntaxError:
+        return
+    assert isinstance(spec, Spec)
+    # and whatever parsed renders back to something that re-parses equal
+    assert parse_spec(str(spec)) == spec
+
+
+@settings(max_examples=80, deadline=None)
+@given(abstract_specs(), st.data())
+def test_duplicate_variant_assignment_always_rejected(spec, data):
+    """Appending a second assignment of any existing variant (either sigil
+    form) to a spec's rendering is always a syntax error."""
+    if not spec.variants:
+        spec.variants["mpi"] = "true"
+    variant = data.draw(st.sampled_from(sorted(spec.variants)))
+    # whitespace-separated so the sigil starts a new token (an unspaced
+    # '+x' after 'os=rhel7' would be swallowed by the greedy value lexeme)
+    form = data.draw(st.sampled_from([f" +{variant}", f" ~{variant}", f" {variant}=off"]))
+    with pytest.raises(SpecSyntaxError):
+        parse_spec(str(spec) + form)
+
+
+@settings(max_examples=80, deadline=None)
+@given(abstract_specs())
+def test_roundtrip_survives_trailing_and_leading_whitespace(spec):
+    assert parse_spec(f"  {spec}  \t") == spec

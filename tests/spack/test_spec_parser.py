@@ -127,3 +127,72 @@ class TestErrors:
     def test_bad_arch_triple(self):
         with pytest.raises(SpecSyntaxError):
             parse_spec("hdf5 arch=linux-rhel7")
+
+
+class TestServiceBoundaryEdgeCases:
+    """Inputs a concretization service receives from untrusted clients: all
+    must raise a clean SpecSyntaxError (mapped to HTTP 400), never crash."""
+
+    def test_empty_spec_is_a_clean_error(self):
+        with pytest.raises(SpecSyntaxError, match="empty spec"):
+            parse_spec("")
+
+    def test_whitespace_only_spec_is_a_clean_error(self):
+        with pytest.raises(SpecSyntaxError, match="empty spec"):
+            parse_spec("   \t ")
+
+    def test_trailing_whitespace_is_fine(self):
+        spec = parse_spec("hdf5+mpi   ")
+        assert spec.name == "hdf5"
+        assert spec.variants["mpi"] == "true"
+
+    def test_leading_whitespace_is_fine(self):
+        assert parse_spec("  hdf5@1.10.2").name == "hdf5"
+
+    def test_duplicate_boolean_variant_is_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="assigned twice"):
+            parse_spec("hdf5+mpi+mpi")
+
+    def test_contradictory_boolean_variant_is_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="assigned twice"):
+            parse_spec("hdf5+mpi~mpi")
+
+    def test_duplicate_keyvalue_variant_is_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="assigned twice"):
+            parse_spec("miniblas threads=none threads=openmp")
+
+    def test_boolean_then_keyvalue_duplicate_is_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="assigned twice"):
+            parse_spec("hdf5+shared shared=false")
+
+    def test_duplicate_target_is_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="'target' assigned twice"):
+            parse_spec("hdf5 target=skylake target=haswell")
+
+    def test_duplicate_os_is_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="'os' assigned twice"):
+            parse_spec("hdf5 os=rhel7 os=rhel8")
+
+    def test_arch_conflicting_with_os_is_rejected(self):
+        with pytest.raises(SpecSyntaxError, match="conflicts with an earlier"):
+            parse_spec("hdf5 os=rhel7 arch=linux-rhel8-skylake")
+
+    def test_duplicates_on_distinct_nodes_are_fine(self):
+        spec = parse_spec("hdf5+mpi ^zlib+mpi")
+        assert spec.variants["mpi"] == "true"
+        assert spec.dependencies["zlib"].variants["mpi"] == "true"
+
+    def test_malformed_version_is_a_parse_error_not_a_version_error(self):
+        # ':' alone parses as the any-range; a double-colon range is nonsense
+        # and must surface as SpecSyntaxError (the 400 class), not the
+        # internal VersionError
+        with pytest.raises(SpecSyntaxError, match="bad version constraint"):
+            parse_spec("hdf5@1.0::2.0")
+
+    def test_malformed_compiler_version_is_a_parse_error(self):
+        with pytest.raises(SpecSyntaxError, match="bad version constraint"):
+            parse_spec("hdf5%gcc@1.0::2.0")
+
+    def test_empty_parse_specs_returns_no_roots(self):
+        assert parse_specs("") == []
+        assert parse_specs("  \t ") == []

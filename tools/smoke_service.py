@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI smoke test for the concretization service over real HTTP.
+
+Boots a server on an ephemeral loopback port against the builtin catalog and
+drives the request lifecycle end to end:
+
+1. ``GET /v1/healthz`` answers ``ok``;
+2. ``POST /v1/concretize`` solves a real spec (``zlib``) and returns a
+   concrete result payload;
+3. a request with a tiny deadline against an artificially slowed solver
+   returns **504** and the tenant's worker permits are all back afterwards
+   (the solve was cancelled, not leaked);
+4. a repeat of the first request still succeeds (the worker pool survived);
+5. ``GET /v1/stats`` reflects exactly the traffic driven;
+6. server and service shut down cleanly (no lingering non-daemon threads).
+
+Exits non-zero on the first violated expectation.  Run from the repository
+root (CI does)::
+
+    PYTHONPATH=src python tools/smoke_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.spack.concretize.session import ConcretizationSession
+from repro.spack.service import ConcretizationServer, ConcretizationService
+
+
+def request(url, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"} if data else {}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        body = error.read()
+        return error.code, json.loads(body) if body else {}
+
+
+def main() -> int:
+    failures = []
+
+    def check(label, condition, detail=""):
+        status = "ok" if condition else "FAIL"
+        print(f"[smoke-service] {label}: {status}{' — ' + detail if detail and not condition else ''}")
+        if not condition:
+            failures.append(label)
+
+    service = ConcretizationService(max_concurrency=2, default_deadline_s=60.0)
+    with service, ConcretizationServer(service, port=0) as server:
+        status, body = request(f"{server.url}/v1/healthz")
+        check("healthz answers ok", status == 200 and body.get("status") == "ok",
+              f"status={status} body={body}")
+
+        status, body = request(f"{server.url}/v1/concretize", {"spec": "zlib"})
+        check("concretize zlib succeeds",
+              status == 200 and body.get("result", {}).get("concrete", "").startswith("zlib"),
+              f"status={status} body={body}")
+
+        # deadline: slow every solve down, then ask for an impossible deadline
+        original = ConcretizationSession._solve_uncached
+        slow = [True]
+
+        def maybe_slow(self, spec, worker=False):
+            if slow[0]:
+                time.sleep(2.0)
+            return original(self, spec, worker=worker)
+
+        ConcretizationSession._solve_uncached = maybe_slow
+        try:
+            start = time.perf_counter()
+            status, body = request(
+                f"{server.url}/v1/concretize",
+                {"spec": "bzip2", "deadline_s": 0.3},
+            )
+            elapsed = time.perf_counter() - start
+            check("deadline-exceeded returns 504", status == 504,
+                  f"status={status} body={body}")
+            check("504 arrives at ~the deadline, not after the solve",
+                  elapsed < 1.5, f"elapsed={elapsed:.2f}s")
+            tenant = service._tenant(None)
+            check("cancelled solve returned its worker permits",
+                  tenant.async_session._semaphore._value == service.max_concurrency)
+        finally:
+            slow[0] = False
+            ConcretizationSession._solve_uncached = original
+
+        status, body = request(f"{server.url}/v1/concretize", {"spec": "zlib"})
+        check("service still answers after the 504", status == 200,
+              f"status={status}")
+
+        status, body = request(f"{server.url}/v1/stats")
+        counters = body.get("service", {})
+        check("stats reflect the traffic",
+              status == 200
+              and counters.get("requests") == 3
+              and counters.get("deadline_exceeded") == 1
+              and counters.get("in_flight") == 0,
+              f"counters={counters}")
+
+    check("clean shutdown", service.healthz()["status"] == "stopped")
+
+    if failures:
+        print(f"[smoke-service] {len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("[smoke-service] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
