@@ -47,6 +47,7 @@ QUICK_BENCHMARKS = (
     "bench_sharded_repo.py",
     "bench_async_session.py",
     "bench_service.py",
+    "bench_unsat.py",
 )
 
 #: Schema version of the aggregate trend file.  Bump on layout changes so

@@ -53,6 +53,10 @@ class CompletedProgram:
     objectives: Dict[int, List[ObjectiveTerm]] = field(default_factory=dict)
     objective_bases: Dict[int, int] = field(default_factory=dict)
     true_literal: int = 0
+    #: suspect-group index -> selector variable, for retractable facts: the
+    #: fact atoms of a group hold iff their selector is assumed true, so an
+    #: unsat core over selector assumptions names the guilty fact groups
+    selectors: Dict[int, int] = field(default_factory=dict)
 
     def variable(self, atom_id: int) -> int:
         return self.atom_to_var[atom_id]
@@ -85,11 +89,19 @@ class CompletedProgram:
 class CompletionBuilder:
     """Builds a :class:`CompletedProgram` from a :class:`GroundProgram`."""
 
-    def __init__(self, ground_program: GroundProgram, solver: Optional[CDCLSolver] = None):
+    def __init__(
+        self,
+        ground_program: GroundProgram,
+        solver: Optional[CDCLSolver] = None,
+        retractable: Optional[Dict[int, int]] = None,
+    ):
         self.ground_program = ground_program
         self.solver = solver or CDCLSolver()
         self.completed = CompletedProgram(solver=self.solver, ground_program=ground_program)
         self._body_cache: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+        # fact atom id -> suspect-group index; these facts are guarded by a
+        # per-group selector instead of being asserted unconditionally
+        self._retractable: Dict[int, int] = dict(retractable or {})
 
     # -- low-level helpers --------------------------------------------------
 
@@ -129,6 +141,7 @@ class CompletionBuilder:
     def build(self) -> CompletedProgram:
         self._create_true_constant()
         self._intern_all_atoms()
+        self._add_retractable_support()
         self._add_facts()
         self._add_normal_rules()
         self._add_choice_rules()
@@ -148,8 +161,27 @@ class CompletionBuilder:
 
     def _add_facts(self):
         for atom_id in self.ground_program.facts:
+            if atom_id in self._retractable:
+                continue  # guarded by a selector, not asserted unconditionally
             self.completed.fact_atoms.add(atom_id)
             self.solver.add_clause([self._atom_var(atom_id)])
+
+    def _add_retractable_support(self):
+        """Selector-guarded support for retractable atoms.
+
+        A retractable atom is true iff its group's selector is (assumed)
+        true; the selector acts as external support so the unfounded-set
+        check treats the atom like any derived one.
+        """
+        for atom_id, group in sorted(self._retractable.items()):
+            selector = self.completed.selectors.get(group)
+            if selector is None:
+                selector = self.solver.new_var()
+                self.completed.selectors[group] = selector
+            self.solver.add_clause([-selector, self._atom_var(atom_id)])
+            self.completed.supports.setdefault(atom_id, []).append(
+                Support(selector, ())
+            )
 
     def _add_normal_rules(self):
         for rule in self.ground_program.rules:
@@ -248,6 +280,10 @@ class CompletionBuilder:
             )
 
 
-def complete(ground_program: GroundProgram, solver: Optional[CDCLSolver] = None) -> CompletedProgram:
+def complete(
+    ground_program: GroundProgram,
+    solver: Optional[CDCLSolver] = None,
+    retractable: Optional[Dict[int, int]] = None,
+) -> CompletedProgram:
     """Convenience wrapper around :class:`CompletionBuilder`."""
-    return CompletionBuilder(ground_program, solver).build()
+    return CompletionBuilder(ground_program, solver, retractable=retractable).build()

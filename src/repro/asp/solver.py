@@ -146,6 +146,9 @@ class CDCLSolver:
         self.stats = SolverStatistics()
         self._model: Optional[List[int]] = None
         self.conflict_budget: Optional[int] = None
+        # assumptions involved in the last UNSAT answer (minisat analyzeFinal);
+        # empty when the formula is unsatisfiable regardless of assumptions
+        self.failed_assumptions: List[int] = []
 
         # lazy max-activity heap of (-activity, var)
         self._order_heap: List[Tuple[float, int]] = []
@@ -512,6 +515,7 @@ class CDCLSolver:
         """
         self.stats.solve_calls += 1
         self._model = None
+        self.failed_assumptions = []
         if not self.ok:
             return False
         self.backtrack(0)
@@ -579,6 +583,7 @@ class CDCLSolver:
                     self.trail_lim.append(len(self.trail))
                     continue
                 if value == _FALSE:
+                    self.failed_assumptions = self._analyze_final(assumption)
                     self.backtrack(0)
                     return False
                 self.stats.decisions += 1
@@ -591,6 +596,40 @@ class CDCLSolver:
                 self._model = list(self.assigns)
                 return True
             self._decide(var)
+
+    def _analyze_final(self, failed: int) -> List[int]:
+        """The subset of the current assumptions that forced ``failed`` FALSE.
+
+        Called during assumption placement, when every assigned variable
+        with a ``None`` reason above level 0 is itself an earlier assumption
+        (no branch decisions have been made yet).  Walking the implication
+        graph backwards from the failed assumption collects exactly the
+        earlier assumptions it depends on — minisat's ``analyzeFinal``.  A
+        level-0 falsification means the base formula alone refutes the
+        assumption, so the core is the assumption by itself.
+        """
+        out = [failed]
+        var = abs(failed)
+        if self.levels[var] == 0:
+            return out
+        seen = {var}
+        for position in range(len(self.trail) - 1, -1, -1):
+            if not seen:
+                break
+            trail_var = abs(self.trail[position])
+            if trail_var not in seen:
+                continue
+            seen.discard(trail_var)
+            reason = self.reasons[trail_var]
+            if reason is None:
+                if trail_var != var:
+                    out.append(self.trail[position])
+            else:
+                for lit in reason.lits:
+                    lit_var = abs(lit)
+                    if lit_var != trail_var and self.levels[lit_var] > 0:
+                        seen.add(lit_var)
+        return out
 
     def _next_restart_limit(self, restarts: int) -> Optional[int]:
         if self.restart_strategy == "none":

@@ -53,7 +53,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import AsyncIterator, List, Optional, Sequence, Tuple, Union
 
-from repro.spack.concretize.concretizer import ConcretizationResult
+from repro.spack.concretize.concretizer import ConcretizationResult, UnsatOutcome
 from repro.spack.concretize.session import (
     _WORKER_BATCHES,
     _WORKER_BATCH_IDS,
@@ -62,6 +62,7 @@ from repro.spack.concretize.session import (
     _worker_solve,
     default_worker_count,
 )
+from repro.spack.errors import UnsatisfiableSpecError
 from repro.spack.spec import Spec
 
 
@@ -214,6 +215,17 @@ class AsyncConcretizationSession:
         loop = asyncio.get_running_loop()
         abstract = session._as_specs(specs)
 
+        # Unsat parity with the sync paths: failed specs are collected (and
+        # their outcomes cached) rather than aborting the stream mid-batch;
+        # after every satisfiable result has been yielded, the failure with
+        # the earliest *input* index is raised — the same exception, with the
+        # same explanation, the sequential session would have raised first.
+        failures: List[Tuple[int, UnsatisfiableSpecError]] = []
+
+        def raise_earliest():
+            failures.sort(key=lambda pair: pair[0])
+            raise failures[0][1]
+
         # -- cache pass (event-loop thread, like the parent in _solve_parallel)
         pending: "OrderedDict[Tuple, List[int]]" = OrderedDict()
         for index, spec in enumerate(abstract):
@@ -226,11 +238,16 @@ class AsyncConcretizationSession:
             cached = session.solve_cache.get(key)
             if cached is not None:
                 session.stats.solve_cache_hits += 1
+                if isinstance(cached, UnsatOutcome):
+                    failures.append((index, cached.to_error()))
+                    continue
                 yield index, session._replay(cached)
                 continue
             session.stats.solve_cache_misses += 1
             pending[key] = [index]
         if not pending:
+            if failures:
+                raise_earliest()
             return
 
         keys = list(pending.keys())
@@ -265,12 +282,21 @@ class AsyncConcretizationSession:
                 # off-loop solves must not mutate the session's base memo or
                 # statistics (a concurrent call may be doing the same)
                 async with semaphore:
-                    concretization = await loop.run_in_executor(
-                        self._fallback_pool(),
-                        lambda: session._solve_uncached(unique[0], worker=True),
-                    )
-                for pair in await finish(0, concretization):
-                    yield pair
+                    try:
+                        concretization = await loop.run_in_executor(
+                            self._fallback_pool(),
+                            lambda: session._solve_uncached(unique[0], worker=True),
+                        )
+                    except UnsatisfiableSpecError as error:
+                        session.stats.delta_groundings += 1
+                        session.solve_cache.put(keys[0], UnsatOutcome.from_error(error))
+                        failures.append((pending[keys[0]][0], error))
+                        concretization = None
+                if concretization is not None:
+                    for pair in await finish(0, concretization):
+                        yield pair
+                if failures:
+                    raise_earliest()
                 return
 
             # -- fan out: one executor per call, workers leased under the
@@ -287,8 +313,15 @@ class AsyncConcretizationSession:
             ]
             try:
                 for completed in asyncio.as_completed(tasks):
-                    unique_index, concretization = await completed
-                    for pair in await finish(unique_index, concretization):
+                    unique_index, outcome = await completed
+                    if isinstance(outcome, UnsatisfiableSpecError):
+                        session.stats.delta_groundings += 1
+                        session.solve_cache.put(
+                            keys[unique_index], UnsatOutcome.from_error(outcome)
+                        )
+                        failures.append((pending[keys[unique_index]][0], outcome))
+                        continue
+                    for pair in await finish(unique_index, outcome):
                         yield pair
             finally:
                 # cancellation/error path: return leased workers cleanly.
@@ -301,6 +334,8 @@ class AsyncConcretizationSession:
                 if executor is not None:
                     executor.shutdown(wait=False, cancel_futures=True)
                 _WORKER_BATCHES.pop(batch_token, None)
+            if failures:
+                raise_earliest()
         finally:
             session._base_demands.pop(demand_token, None)
 
@@ -329,13 +364,15 @@ class AsyncConcretizationSession:
         batch_token: int,
         index: int,
         spec: Spec,
-    ) -> Tuple[int, ConcretizationResult]:
+    ) -> Tuple[int, Union[ConcretizationResult, UnsatisfiableSpecError]]:
         """Solve one cache-missing spec under the concurrency semaphore.
 
         Pool path first; a broken pool (a worker process died, or the
         executor could not start) degrades *this* solve to the fallback
         thread — results stay element-wise identical, the event loop stays
-        live, and solver exceptions still propagate unchanged.
+        live.  An unsatisfiable spec is a per-spec *outcome*, not a pool
+        failure: its error (explanation intact across process pickling) is
+        returned in the spec's slot for the consumer to cache and raise.
         """
         semaphore, _ = self._primitives()
         loop = asyncio.get_running_loop()
@@ -350,6 +387,9 @@ class AsyncConcretizationSession:
                         result = await asyncio.wrap_future(pool_future)
                     except BrokenProcessPool:
                         pass  # worker died mid-solve: degrade to sequential
+                    except UnsatisfiableSpecError as error:
+                        self.session.stats.parallel_solves += 1
+                        return index, error
                     except asyncio.CancelledError:
                         pool_future.cancel()  # return the leased worker
                         raise
@@ -363,10 +403,13 @@ class AsyncConcretizationSession:
             # worker=True: several degraded solves may run on fallback
             # threads at once, and only the worker path is guaranteed not to
             # mutate shared session state (base LRU, statistics)
-            result = await loop.run_in_executor(
-                self._fallback_pool(),
-                lambda: self.session._solve_uncached(spec, worker=True),
-            )
+            try:
+                result = await loop.run_in_executor(
+                    self._fallback_pool(),
+                    lambda: self.session._solve_uncached(spec, worker=True),
+                )
+            except UnsatisfiableSpecError as error:
+                return index, error
             session_stats = result.statistics.get("session")
             if isinstance(session_stats, dict):
                 session_stats["async"] = True

@@ -22,9 +22,10 @@ from repro.asp.control import Control, Model
 from repro.spack.architecture import Platform, default_platform
 from repro.spack.compilers import CompilerRegistry
 from repro.spack.concretize.encoder import ProblemEncoder
+from repro.spack.concretize.explain import explain_unsat
 from repro.spack.concretize.extract import built_and_reused, extract_specs, root_specs
 from repro.spack.concretize.logic import logic_program
-from repro.spack.errors import UnsatisfiableSpecError
+from repro.spack.errors import ConstraintProvenance, UnsatisfiableSpecError
 from repro.spack.repo import Repository, builtin_repository
 from repro.spack.spec import Spec
 from repro.spack.spec_parser import parse_spec
@@ -119,17 +120,83 @@ class ConcretizationResult:
         )
 
 
+@dataclass
+class UnsatOutcome:
+    """A cacheable unsatisfiable outcome: the message plus its conflict core.
+
+    What the solve cache stores for unsat solves — keyed by the same
+    content-hash keys as satisfiable results — so warm replays raise an
+    :class:`UnsatisfiableSpecError` with an explanation identical to the
+    original solve's, without re-running MUS extraction.
+    """
+
+    message: str
+    explanation: List[ConstraintProvenance] = field(default_factory=list)
+    specs: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_error(cls, error: UnsatisfiableSpecError) -> "UnsatOutcome":
+        return cls(str(error), list(error.explanation), list(error.specs))
+
+    def to_error(self) -> UnsatisfiableSpecError:
+        """A fresh error to raise (never re-raise a cached exception object)."""
+        return UnsatisfiableSpecError(
+            self.message, explanation=list(self.explanation), specs=list(self.specs)
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "unsat": True,
+            "message": self.message,
+            "explanation": [p.to_dict() for p in self.explanation],
+            "specs": list(self.specs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "UnsatOutcome":
+        return cls(
+            message=data.get("message", ""),
+            explanation=[
+                ConstraintProvenance.from_dict(p) for p in data.get("explanation", ())
+            ],
+            specs=list(data.get("specs", ())),
+        )
+
+
 def result_from_solve(
     abstract: Sequence[Spec],
     result,
     statistics: Dict[str, object],
+    explainer=None,
 ) -> ConcretizationResult:
     """Turn a satisfiable solver outcome into a :class:`ConcretizationResult`
-    (shared by :class:`Concretizer` and the batch concretization session)."""
+    (shared by :class:`Concretizer` and the batch concretization session).
+
+    ``explainer`` is an optional zero-argument callable returning the
+    minimal conflict core (a list of
+    :class:`~repro.spack.errors.ConstraintProvenance`); it is only invoked
+    on unsat, and any failure inside it degrades to an explanation-free
+    error rather than masking the unsat itself.
+    """
     if not result.satisfiable:
         requested = ", ".join(str(s) for s in abstract)
+        explanation: List[ConstraintProvenance] = []
+        if explainer is not None:
+            try:
+                explanation = list(explainer())
+            except Exception:
+                explanation = []
+        message = f"no valid concretization exists for: {requested}"
+        if explanation:
+            core = "\n".join(
+                f"  {index}. {entry.describe()}"
+                for index, entry in enumerate(explanation, 1)
+            )
+            message = f"{message}\nminimal conflict core:\n{core}"
         raise UnsatisfiableSpecError(
-            f"no valid concretization exists for: {requested}"
+            message,
+            explanation=explanation,
+            specs=[str(s) for s in abstract],
         )
 
     specs_by_name = extract_specs(result.model)
@@ -203,7 +270,10 @@ class Concretizer:
             **result.statistics,
         }
 
-        return result_from_solve(abstract, result, statistics)
+        def explainer():
+            return explain_unsat(facts, encoder.provenance, self.config)
+
+        return result_from_solve(abstract, result, statistics, explainer=explainer)
 
     def concretize(self, spec: Union[str, Spec]) -> ConcretizationResult:
         """Concretize a single abstract spec."""

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.spack.architecture import Platform, TARGETS, default_platform
 from repro.spack.compilers import CompilerRegistry
-from repro.spack.errors import SpackError
+from repro.spack.errors import ConstraintProvenance, SpackError
 from repro.spack.repo import Repository, ShardedRepository
 from repro.spack.spec import Spec
 from repro.spack.version import Version, parse_version_constraint
@@ -84,6 +84,10 @@ class ProblemEncoder:
         self.reuse = reuse
 
         self.facts: List[Fact] = []
+        # one entry per retractable constraint this encoder emitted, in
+        # emission order; a forked (delta) encoder records only its own —
+        # explanation callers concatenate base + delta provenance
+        self.provenance: List[ConstraintProvenance] = []
         self.stats = EncodingStatistics()
         self._condition_counter = 0
         self._version_constraints: Dict[str, Set[str]] = {}
@@ -423,21 +427,48 @@ class ProblemEncoder:
     def _encode_input_spec(self, spec: Spec):
         self._fact("root", spec.name)
         condition = self._new_condition()
+        # the bare node imposition stays outside the suspect group: the root
+        # node itself is re-derived from the (non-retractable) root fact, so
+        # relaxing the group drops the user's *constraints*, not the request
         self._fact("imposed_constraint", condition, "node", spec.name)
+        group: List[Fact] = []
         for imposed in self._spec_impositions(spec.name, spec, self.repo.is_virtual(spec.name)):
-            self._fact("imposed_constraint", condition, *imposed)
+            group.append(("imposed_constraint", condition) + tuple(imposed))
+            self._fact(*group[-1])
+        if group:
+            self.provenance.append(
+                ConstraintProvenance(
+                    kind="requested",
+                    package=spec.name,
+                    directive=f'requested spec "{spec}"',
+                    facts=tuple(group),
+                )
+            )
 
         for dep_name, dep_spec in spec.dependencies.items():
             dep_condition = self._new_condition()
+            dep_group: List[Fact] = []
             if self.repo.is_virtual(dep_name):
                 # Constraining a virtual on the command line constrains its
                 # eventual provider.
                 for imposed in self._spec_impositions(dep_name, dep_spec, True):
-                    self._fact("imposed_constraint", dep_condition, *imposed)
-                continue
-            self._fact("imposed_constraint", dep_condition, "node", dep_name)
-            for imposed in self._spec_impositions(dep_name, dep_spec, False):
-                self._fact("imposed_constraint", dep_condition, *imposed)
+                    dep_group.append(("imposed_constraint", dep_condition) + tuple(imposed))
+                    self._fact(*dep_group[-1])
+            else:
+                dep_group.append(("imposed_constraint", dep_condition, "node", dep_name))
+                self._fact(*dep_group[-1])
+                for imposed in self._spec_impositions(dep_name, dep_spec, False):
+                    dep_group.append(("imposed_constraint", dep_condition) + tuple(imposed))
+                    self._fact(*dep_group[-1])
+            if dep_group:
+                self.provenance.append(
+                    ConstraintProvenance(
+                        kind="requested",
+                        package=dep_name,
+                        directive=f'requested spec "{spec}"',
+                        facts=tuple(dep_group),
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Platform / compilers
@@ -513,17 +544,33 @@ class ProblemEncoder:
             self._fact("condition_requirement", condition, "node", name)
             for requirement in self._spec_requirements(name, dependency.when):
                 self._fact("condition_requirement", condition, *requirement)
-            self._fact("dependency_condition", condition, name, dep_name)
+            # the suspect group spans the activation fact AND the imposed
+            # constraints: `impose(ID) :- condition_holds(ID)` would keep the
+            # impositions active if only the activation fact were retracted
+            group: List[Fact] = [("dependency_condition", condition, name, dep_name)]
+            self._fact(*group[0])
             for imposed in self._spec_impositions(dep_name, dependency.spec, is_virtual):
-                self._fact("imposed_constraint", condition, *imposed)
+                group.append(("imposed_constraint", condition) + tuple(imposed))
+                self._fact(*group[-1])
             # Constraints on transitive dependencies inside the dependency
             # spec (e.g. depends_on("hdf5+mpi ^zlib@1.2.8:")).
             for sub_name, sub_spec in dependency.spec.dependencies.items():
                 if not self.repo.exists(sub_name):
                     continue
-                self._fact("imposed_constraint", condition, "node", sub_name)
+                group.append(("imposed_constraint", condition, "node", sub_name))
+                self._fact(*group[-1])
                 for imposed in self._spec_impositions(sub_name, sub_spec, False):
-                    self._fact("imposed_constraint", condition, *imposed)
+                    group.append(("imposed_constraint", condition) + tuple(imposed))
+                    self._fact(*group[-1])
+            self.provenance.append(
+                ConstraintProvenance(
+                    kind="depends_on",
+                    package=name,
+                    directive=dependency.directive_string(),
+                    when=str(dependency.when) if dependency.when is not None else "",
+                    facts=tuple(group),
+                )
+            )
 
     def _encode_conflicts(self, name: str, cls):
         for conflict in cls.conflict_decls:
@@ -534,6 +581,16 @@ class ProblemEncoder:
             for requirement in self._spec_requirements(name, conflict.spec):
                 self._fact("condition_requirement", condition, *requirement)
             self._fact("conflict", condition, name)
+            # retracting the conflict fact disables the integrity constraint
+            self.provenance.append(
+                ConstraintProvenance(
+                    kind="conflict",
+                    package=name,
+                    directive=conflict.directive_string(),
+                    when=str(conflict.when) if conflict.when is not None else "",
+                    facts=(("conflict", condition, name),),
+                )
+            )
 
     def _encode_provides(self, name: str, cls):
         for provided in cls.provided:

@@ -74,8 +74,10 @@ from repro.spack.architecture import Platform, default_platform
 from repro.spack.compilers import CompilerRegistry
 from repro.spack.concretize.concretizer import (
     ConcretizationResult,
+    UnsatOutcome,
     result_from_solve,
 )
+from repro.spack.concretize.explain import explain_unsat
 from repro.spack.concretize.criteria import (
     BUILD_PRIORITY_OFFSET,
     CRITERIA,
@@ -83,6 +85,7 @@ from repro.spack.concretize.criteria import (
 )
 from repro.spack.concretize.encoder import EncodedLayer, ProblemEncoder
 from repro.spack.concretize.logic import logic_program
+from repro.spack.errors import UnsatisfiableSpecError
 from repro.spack.repo import Repository, ShardedRepository, builtin_repository
 from repro.spack.spec import Spec
 from repro.spack.spec_parser import parse_spec
@@ -799,7 +802,18 @@ class ConcretizationSession:
                 **base.statistics(),
             },
         }
-        return result_from_solve([spec], result, statistics)
+
+        def explainer():
+            provenance = list(getattr(base.encoder, "provenance", ())) + list(
+                encoder.provenance
+            )
+            return explain_unsat(
+                list(base.encoder.facts) + list(delta_facts),
+                provenance,
+                self.config,
+            )
+
+        return result_from_solve([spec], result, statistics, explainer=explainer)
 
     def _solve_one(self, spec: Spec) -> ConcretizationResult:
         self.stats.specs_solved += 1
@@ -809,10 +823,19 @@ class ConcretizationSession:
             # cache first, base lazily: a fully-cached batch never encodes
             # or grounds anything at all
             self.stats.solve_cache_hits += 1
+            if isinstance(cached, UnsatOutcome):
+                raise cached.to_error()
             return self._replay(cached)
         self.stats.solve_cache_misses += 1
 
-        concretization = self._solve_uncached(spec)
+        try:
+            concretization = self._solve_uncached(spec)
+        except UnsatisfiableSpecError as error:
+            # unsat outcomes (message + minimal core) are cached under the
+            # same content-hash key, so warm replays raise identically
+            self.stats.delta_groundings += 1
+            self.solve_cache.put(key, UnsatOutcome.from_error(error))
+            raise
         self.stats.delta_groundings += 1
         # cache a pristine copy: callers may freely mutate the returned DAG
         self.solve_cache.put(key, self._copy_result(concretization))
@@ -834,8 +857,15 @@ class ConcretizationSession:
         only ever delta-ground + solve.  Results are reassembled in input
         order, so the return value is element-wise identical to the
         sequential path's.
+
+        Unsat parity: every unsatisfiable outcome (cache hit or fresh) is
+        collected rather than raised mid-batch, satisfiable results are
+        still cached, and the error belonging to the *earliest input index*
+        is raised at the end — the same exception, with the same
+        explanation, the sequential path would have raised first.
         """
         results: List[Optional[ConcretizationResult]] = [None] * len(abstract)
+        failures: List[Tuple[int, UnsatisfiableSpecError]] = []
         pending: "OrderedDict[Tuple, List[int]]" = OrderedDict()
         for index, spec in enumerate(abstract):
             self.stats.specs_solved += 1
@@ -849,6 +879,9 @@ class ConcretizationSession:
             cached = self.solve_cache.get(key)
             if cached is not None:
                 self.stats.solve_cache_hits += 1
+                if isinstance(cached, UnsatOutcome):
+                    failures.append((index, cached.to_error()))
+                    continue
                 results[index] = self._replay(cached)
                 continue
             self.stats.solve_cache_misses += 1
@@ -858,16 +891,28 @@ class ConcretizationSession:
             unique = [abstract[indices[0]] for indices in pending.values()]
             if len(unique) == 1:
                 # a single miss gains nothing from a pool; solve it inline
-                solved = [self._solve_uncached(unique[0])]
+                try:
+                    solved: List[Union[ConcretizationResult, UnsatisfiableSpecError]] = [
+                        self._solve_uncached(unique[0])
+                    ]
+                except UnsatisfiableSpecError as error:
+                    solved = [error]
             else:
                 solved = self._fan_out(unique)
-            for (key, indices), concretization in zip(pending.items(), solved):
+            for (key, indices), outcome in zip(pending.items(), solved):
                 self.stats.delta_groundings += 1
-                pristine = self._copy_result(concretization)
+                if isinstance(outcome, UnsatisfiableSpecError):
+                    self.solve_cache.put(key, UnsatOutcome.from_error(outcome))
+                    failures.append((indices[0], outcome))
+                    continue
+                pristine = self._copy_result(outcome)
                 self.solve_cache.put(key, pristine)
-                results[indices[0]] = concretization
+                results[indices[0]] = outcome
                 for duplicate in indices[1:]:
                     results[duplicate] = self._replay(pristine)
+        if failures:
+            failures.sort(key=lambda pair: pair[0])
+            raise failures[0][1]
         return results
 
     def _fan_out(self, unique: List[Spec]) -> List[ConcretizationResult]:
@@ -899,7 +944,9 @@ class ConcretizationSession:
             return "process"
         return "thread"
 
-    def _run_workers(self, specs: List[Spec]) -> List[ConcretizationResult]:
+    def _run_workers(
+        self, specs: List[Spec]
+    ) -> List[Union[ConcretizationResult, UnsatisfiableSpecError]]:
         """Solve ``specs`` (all cache misses, bases pre-grounded) on a pool.
 
         One executor abstraction covers both backends: ``"process"`` builds
@@ -911,10 +958,21 @@ class ConcretizationSession:
         the first submit), or dies underneath us (sandboxes without
         semaphores, fork guards, the OOM killer, ...), the batch degrades to
         in-process sequential solving rather than failing.  Only pool
-        *infrastructure* failures degrade — an exception raised by a solve
-        itself (e.g. an unsatisfiable spec) propagates immediately, exactly
-        as it would from the sequential path.
+        *infrastructure* failures degrade — an unsatisfiable spec is a
+        per-spec *outcome*: its :class:`UnsatisfiableSpecError` (explanation
+        intact, thanks to ``__reduce__``) is returned in the spec's slot so
+        the caller can cache it and decide which failure to raise.
         """
+
+        def solve_inline() -> List[Union[ConcretizationResult, UnsatisfiableSpecError]]:
+            outcomes: List[Union[ConcretizationResult, UnsatisfiableSpecError]] = []
+            for spec in specs:
+                try:
+                    outcomes.append(self._solve_uncached(spec))
+                except UnsatisfiableSpecError as error:
+                    outcomes.append(error)
+            return outcomes
+
         workers = min(self.workers, len(specs))
         backend = self._resolve_backend()
         batch = next(_WORKER_BATCH_IDS)
@@ -936,18 +994,25 @@ class ConcretizationSession:
             except (OSError, ValueError, RuntimeError):
                 # the pool never came up (no semaphores, cannot fork, cannot
                 # start threads): degrade, don't fail
-                return [self._solve_uncached(spec) for spec in specs]
+                return solve_inline()
+            results: List[Union[ConcretizationResult, UnsatisfiableSpecError]] = []
             try:
-                results = [future.result() for future in futures]
+                for future in futures:
+                    try:
+                        results.append(future.result())
+                    except UnsatisfiableSpecError as error:
+                        results.append(error)
             except BrokenProcessPool:
                 # a worker process died mid-batch: degrade, don't fail
-                return [self._solve_uncached(spec) for spec in specs]
+                return solve_inline()
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
             _WORKER_BATCHES.pop(batch, None)
         self.stats.parallel_solves += len(results)
         for result in results:
+            if isinstance(result, UnsatisfiableSpecError):
+                continue
             session_stats = result.statistics.get("session")
             if isinstance(session_stats, dict):
                 session_stats["parallel_backend"] = backend

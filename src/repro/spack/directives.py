@@ -69,6 +69,11 @@ class DependencyDecl:
     def name(self) -> str:
         return self.spec.name
 
+    def directive_string(self) -> str:
+        """Canonical source rendering, shared by unsat-explanation provenance
+        and the synthetic generator's planted ground truth."""
+        return f'depends_on("{self.spec}")'
+
 
 @dataclass
 class ConflictDecl:
@@ -77,6 +82,11 @@ class ConflictDecl:
     spec: Spec
     when: Optional[Spec] = None
     msg: str = ""
+
+    def directive_string(self) -> str:
+        """Canonical source rendering, shared by unsat-explanation provenance
+        and the synthetic generator's planted ground truth."""
+        return f'conflicts("{self.spec}")'
 
 
 @dataclass

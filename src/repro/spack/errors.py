@@ -1,4 +1,57 @@
-"""Exception hierarchy for the Spack-like layer."""
+"""Exception hierarchy for the Spack-like layer.
+
+Also home to :class:`ConstraintProvenance`, the unit of the structured unsat
+explanation carried by :class:`UnsatisfiableSpecError`.  It lives here — the
+leafmost module of the layer — because the encoder (which records it), the
+MUS extractor (which filters it), and the service (which serializes it) all
+already import :mod:`repro.spack.errors`.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ConstraintProvenance:
+    """Where one retractable program constraint came from.
+
+    One instance per *suspect group*: the set of ground facts that jointly
+    activate a single source-level constraint (a ``conflicts`` directive, a
+    ``depends_on`` condition plus its imposed constraints, or one requested
+    input spec).  ``facts`` holds those fact tuples so the MUS extractor can
+    map the group back onto ground atoms; the remaining fields are the
+    human-readable rendering.
+    """
+
+    kind: str  #: "conflict" | "depends_on" | "requested"
+    package: str
+    directive: str
+    when: str = ""
+    facts: Tuple[Tuple, ...] = field(default=(), compare=False)
+
+    def describe(self) -> str:
+        if self.when:
+            return f'{self.package}: {self.directive} when="{self.when}"'
+        return f"{self.package}: {self.directive}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "package": self.package,
+            "directive": self.directive,
+            "when": self.when,
+            "facts": [list(fact) for fact in self.facts],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ConstraintProvenance":
+        return cls(
+            kind=data.get("kind", ""),
+            package=data.get("package", ""),
+            directive=data.get("directive", ""),
+            when=data.get("when", ""),
+            facts=tuple(tuple(fact) for fact in data.get("facts", ())),
+        )
 
 
 class SpackError(Exception):
@@ -31,7 +84,38 @@ class UnknownPackageError(PackageError):
 class UnsatisfiableSpecError(SpackError):
     """Raised when no valid concretization exists (or, for the original
     greedy concretizer, when it *fails to find* one — the incompleteness the
-    paper discusses in Section III-C)."""
+    paper discusses in Section III-C).
+
+    ``explanation`` is the minimal conflict core: an ordered list of
+    :class:`ConstraintProvenance` naming the source-level constraints that
+    are jointly unsatisfiable, each of which is individually necessary
+    (relaxing any one of them yields a satisfiable program).  Empty when no
+    diagnosis was computed or when the program is unsatisfiable for reasons
+    outside the retractable constraints.  ``specs`` are the requested input
+    specs, as strings.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        explanation: Optional[Sequence[ConstraintProvenance]] = None,
+        specs: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(message)
+        self.explanation: List[ConstraintProvenance] = list(explanation or [])
+        self.specs: List[str] = list(specs or [])
+
+    def __reduce__(self):
+        # default exception pickling drops keyword state; worker-pool unsat
+        # results must round-trip the core intact
+        return (
+            self.__class__,
+            (str(self), list(self.explanation), list(self.specs)),
+        )
+
+    def core(self) -> List[str]:
+        """The conflict core as human-readable lines."""
+        return [provenance.describe() for provenance in self.explanation]
 
 
 class ConflictError(UnsatisfiableSpecError):

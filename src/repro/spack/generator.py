@@ -10,12 +10,19 @@ structural features:
 * a layered DAG (no cycles) with configurable out-degree;
 * a fraction of packages that can reach the ``mpi`` virtual (reproducing the
   two-cluster structure of Figures 7a–7c);
-* conditional dependencies, variants, and occasional conflicts.
+* conditional dependencies, variants, and occasional conflicts;
+* optional **seeded unsat injection** (``unsat_packages``): poisoned
+  ``synth-unsat-*`` packages whose ``conflicts`` directives are jointly
+  unsatisfiable but individually removable, with the planted ground-truth
+  core recorded in :attr:`SyntheticRepoBuilder.planted` so the unsat
+  scenario harness can assert that the explainer's extracted minimal
+  conflict core equals exactly what was planted.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.spack.directives import conflicts, depends_on, provides, variant, version
@@ -46,6 +53,23 @@ def _make_package_class(
     return cls
 
 
+@dataclass(frozen=True)
+class PlantedConflict:
+    """Ground truth for one poisoned package's injected unsatisfiability.
+
+    ``conflict_specs`` are the raw directive arguments (usable as
+    ``omit_planted`` entries to relax one member), ``directives`` the
+    rendered directive strings — exactly what
+    :class:`~repro.spack.errors.ConstraintProvenance.directive` reports for
+    them, so scenario tests compare extracted cores against planted ones
+    string-for-string.
+    """
+
+    package: str
+    conflict_specs: Tuple[str, ...]
+    directives: Tuple[str, ...]
+
+
 class SyntheticRepoBuilder:
     """Generates a layered synthetic repository.
 
@@ -65,6 +89,22 @@ class SyntheticRepoBuilder:
         fraction of dependency edges guarded by a variant condition
     seed:
         RNG seed (generation is fully deterministic for a given seed)
+    unsat_packages:
+        number of poisoned ``synth-unsat-NNNN`` packages to plant.  Each
+        carries ``unsat_conflicts`` versions and one ``conflicts("@V")``
+        directive per version: every version is forbidden, so concretizing
+        the package is UNSAT, and removing any *single* directive frees its
+        version — the directives are a minimal unsatisfiable set by
+        construction.  Ground truth lands in :attr:`planted` after
+        :meth:`build`.  Planting consumes no RNG draws, so the regular
+        catalog is bit-identical with the knob on or off.
+    unsat_conflicts:
+        size of each planted core (>= 2)
+    omit_planted:
+        ``(package, conflict_spec)`` pairs to *skip* at plant time — the
+        minimality oracle: rebuilding a scenario with one planted member
+        omitted must flip the package to SAT.  Omission consumes no RNG
+        draws either.
     """
 
     def __init__(
@@ -76,6 +116,9 @@ class SyntheticRepoBuilder:
         conditional_fraction: float = 0.3,
         num_providers: int = 2,
         seed: int = 42,
+        unsat_packages: int = 0,
+        unsat_conflicts: int = 2,
+        omit_planted: Sequence[Tuple[str, str]] = (),
     ):
         self.num_packages = num_packages
         self.max_dependencies = max_dependencies
@@ -84,6 +127,12 @@ class SyntheticRepoBuilder:
         self.conditional_fraction = conditional_fraction
         self.num_providers = max(1, num_providers)
         self.random = random.Random(seed)
+        self.unsat_packages = max(0, unsat_packages)
+        self.unsat_conflicts = max(2, unsat_conflicts)
+        self.omit_planted = frozenset(omit_planted)
+        #: ground truth recorded by :meth:`build`: poisoned package name ->
+        #: :class:`PlantedConflict`
+        self.planted: Dict[str, PlantedConflict] = {}
 
     # ------------------------------------------------------------------
 
@@ -149,8 +198,40 @@ class SyntheticRepoBuilder:
             )
             repo.add(cls)
 
+        self._plant_unsat(repo, names)
         repo.set_provider_preference("mpi", provider_names)
         return repo
+
+    def _plant_unsat(self, repo: Repository, names: Sequence[str]):
+        """Append the poisoned packages (deterministic, RNG-free)."""
+        self.planted = {}
+        for index in range(self.unsat_packages):
+            package_name = f"synth-unsat-{index:04d}"
+            versions = [f"{self.unsat_conflicts - j}.0.0" for j in range(self.unsat_conflicts)]
+            conflict_specs = [f"@{version_string}" for version_string in versions]
+            kept = [
+                spec
+                for spec in conflict_specs
+                if (package_name, spec) not in self.omit_planted
+            ]
+            # one RNG-free dependency into the regular catalog, so planted
+            # scenarios exercise real grounding work, not toy islands
+            dependencies: List[Tuple[str, Optional[str]]] = []
+            if names:
+                dependencies.append((names[(index * 7) % len(names)], None))
+            cls = _make_package_class(
+                package_name,
+                versions=versions,
+                variants=[],
+                dependencies=dependencies,
+                conflict_specs=kept,
+            )
+            repo.add(cls)
+            self.planted[package_name] = PlantedConflict(
+                package=package_name,
+                conflict_specs=tuple(kept),
+                directives=tuple(d.directive_string() for d in cls.conflict_decls),
+            )
 
     # ------------------------------------------------------------------
 

@@ -113,9 +113,34 @@ class DeadlineExceededError(ServiceError):
 
 
 class UnsolvableError(ServiceError):
-    """The spec parsed but cannot be concretized (422)."""
+    """The spec parsed but cannot be concretized (422).
+
+    For unsatisfiable specs the payload carries the **minimal conflict
+    core** extracted by :func:`~repro.spack.concretize.explain.explain_unsat`
+    — ``conflict_core`` is a list of constraint-provenance dicts (package,
+    kind, directive, when, and a rendered ``constraint`` line) — plus the
+    ``specs`` that were requested, so clients can show *why* without parsing
+    the message text.
+    """
 
     status = 422
+
+    def __init__(
+        self,
+        message: str,
+        explanation: Optional[Sequence[Dict[str, object]]] = None,
+        specs: Optional[Sequence[str]] = None,
+    ):
+        super().__init__(message)
+        self.explanation = list(explanation or ())
+        self.specs = list(specs or ())
+
+    def payload(self) -> Dict[str, object]:
+        body = super().payload()
+        body["conflict_core"] = self.explanation
+        if self.specs:
+            body["specs"] = self.specs
+        return body
 
 
 # ---------------------------------------------------------------------------
@@ -384,7 +409,20 @@ class ConcretizationService:
         if isinstance(exc, UnknownPackageError):
             return UnsolvableError(str(exc))
         if isinstance(exc, UnsatisfiableSpecError):
-            return UnsolvableError(str(exc))
+            return UnsolvableError(
+                str(exc),
+                explanation=[
+                    {
+                        "package": entry.package,
+                        "kind": entry.kind,
+                        "directive": entry.directive,
+                        "when": entry.when,
+                        "constraint": entry.describe(),
+                    }
+                    for entry in exc.explanation
+                ],
+                specs=list(exc.specs),
+            )
         if isinstance(exc, SpackError):
             return UnsolvableError(str(exc))
         raise exc  # genuinely unexpected: let the transport return 500

@@ -49,7 +49,7 @@ from repro.spack.spec_parser import parse_spec
 #: serialized layout (or the semantics of what is cached) changes; readers
 #: treat any other version as a miss, so old and new code can share one cache
 #: directory without ever exchanging garbage.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 #: Age after which an orphaned ``.tmp`` file (an interrupted writer's
 #: leftover) may be reaped by budgeted pruning; generous enough that no
@@ -483,7 +483,10 @@ class PersistentSolveCache(SolveCache):
     (:meth:`ConcretizationResult.to_dict
     <repro.spack.concretize.concretizer.ConcretizationResult.to_dict>`), so a
     *different process* pointed at the same directory replays the same batch
-    without a single grounding or solver call.
+    without a single grounding or solver call.  Unsatisfiable outcomes
+    (:class:`~repro.spack.concretize.concretizer.UnsatOutcome`, carrying the
+    minimal conflict core) are cached under the same keys — a warm replay
+    raises the identical explanation without re-running MUS extraction.
 
     Degradation contract (exercised in
     ``tests/concretize/test_persistent_cache.py``): corrupted files, version
@@ -562,7 +565,10 @@ class PersistentSolveCache(SolveCache):
     # -- disk layer ----------------------------------------------------
 
     def _load(self, key: Hashable):
-        from repro.spack.concretize.concretizer import ConcretizationResult
+        from repro.spack.concretize.concretizer import (
+            ConcretizationResult,
+            UnsatOutcome,
+        )
 
         status, payload = self._disk.load(cache_key_token(key))
         if status == "error":
@@ -572,6 +578,8 @@ class PersistentSolveCache(SolveCache):
         if status != "hit":
             return None
         try:
+            if isinstance(payload, dict) and payload.get("unsat"):
+                return UnsatOutcome.from_dict(payload)
             return ConcretizationResult.from_dict(payload)
         except Exception:
             with self._lock:

@@ -132,6 +132,48 @@ def test_unknown_tenant_is_404_class(service):
         service.concretize("example", tenant="nobody")
 
 
+def test_unsolvable_payload_carries_the_conflict_core(service):
+    """An unsatisfiable spec's 422 payload names the minimal conflict core
+    as structured provenance, not just prose."""
+    with pytest.raises(UnsolvableError) as excinfo:
+        service.concretize("example %intel")
+    payload = excinfo.value.payload()
+    assert payload["status"] == 422
+    assert payload["specs"] == ["example %intel"]
+    core = payload["conflict_core"]
+    assert [entry["constraint"] for entry in core] == [
+        'example: conflicts("%intel")',
+        'example: requested spec "example %intel"',
+    ]
+    assert core[0] == {
+        "package": "example",
+        "kind": "conflict",
+        "directive": 'conflicts("%intel")',
+        "when": "",
+        "constraint": 'example: conflicts("%intel")',
+    }
+    # an *unknown package* is unsolvable too, but has no core to report
+    with pytest.raises(UnsolvableError) as excinfo:
+        service.concretize("no-such-package")
+    assert excinfo.value.payload()["conflict_core"] == []
+
+
+def test_streamed_batch_error_record_carries_the_conflict_core(service):
+    """A stream that ends on an unsatisfiable spec still delivers the
+    satisfiable results, then a terminal error record with the core."""
+    records = list(
+        service.stream_batch(["example@1.0.0", "example %intel"])
+    )
+    assert records[-1]["status"] == 422
+    assert [e["constraint"] for e in records[-1]["conflict_core"]] == [
+        'example: conflicts("%intel")',
+        'example: requested spec "example %intel"',
+    ]
+    ok = [r for r in records[:-1] if "index" in r]
+    assert [r["index"] for r in ok] == [0]
+    assert ok[0]["concrete"].startswith("example @1.0.0")
+
+
 # ---------------------------------------------------------------------------
 # Deadlines (504 + cancellation, not leakage)
 # ---------------------------------------------------------------------------
@@ -303,6 +345,11 @@ def test_http_concretize_and_errors(server):
         f"{server.url}/v1/concretize", {"spec": "example %intel"}
     )
     assert status == 422
+    assert [e["constraint"] for e in body["conflict_core"]] == [
+        'example: conflicts("%intel")',
+        'example: requested spec "example %intel"',
+    ]
+    assert body["specs"] == ["example %intel"]
     status, body, _ = http_json(f"{server.url}/v1/concretize", {"wrong": 1})
     assert status == 400
     status, body, _ = http_json(f"{server.url}/v1/nothing", {"spec": "example"})
@@ -388,6 +435,26 @@ def test_http_streamed_batch_ndjson(server):
         records = [json.loads(line) for line in response if line.strip()]
     assert records[-1] == {"status": "ok", "results": 2}
     assert sorted(r["index"] for r in records[:-1]) == [0, 1]
+
+
+def test_http_streamed_unsat_ndjson_carries_conflict_core(server):
+    request = urllib.request.Request(
+        f"{server.url}/v1/concretize_batch",
+        data=json.dumps(
+            {"specs": ["example@1.0.0", "example %intel"], "stream": True}
+        ).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200
+        records = [json.loads(line) for line in response if line.strip()]
+    assert records[-1]["status"] == 422
+    assert [e["constraint"] for e in records[-1]["conflict_core"]] == [
+        'example: conflicts("%intel")',
+        'example: requested spec "example %intel"',
+    ]
+    delivered = [r for r in records[:-1] if "index" in r]
+    assert [r["index"] for r in delivered] == [0]
 
 
 def test_server_start_stop_is_clean(micro_repo):

@@ -11,8 +11,10 @@ drives the request lifecycle end to end:
    returns **504** and the tenant's worker permits are all back afterwards
    (the solve was cancelled, not leaked);
 4. a repeat of the first request still succeeds (the worker pool survived);
-5. ``GET /v1/stats`` reflects exactly the traffic driven;
-6. server and service shut down cleanly (no lingering non-daemon threads).
+5. an unsatisfiable spec returns **422** whose body carries the minimal
+   conflict core (structured constraint provenance, not just prose);
+6. ``GET /v1/stats`` reflects exactly the traffic driven;
+7. server and service shut down cleanly (no lingering non-daemon threads).
 
 Exits non-zero on the first violated expectation.  Run from the repository
 root (CI does)::
@@ -97,12 +99,24 @@ def main() -> int:
         check("service still answers after the 504", status == 200,
               f"status={status}")
 
+        status, body = request(
+            f"{server.url}/v1/concretize", {"spec": "zlib@99.99"}
+        )
+        core = body.get("conflict_core", [])
+        check("unsatisfiable spec returns 422 with its conflict core",
+              status == 422
+              and [entry.get("constraint") for entry in core]
+              == ['zlib: requested spec "zlib @99.99"']
+              and body.get("specs") == ["zlib @99.99"],
+              f"status={status} body={body}")
+
         status, body = request(f"{server.url}/v1/stats")
         counters = body.get("service", {})
         check("stats reflect the traffic",
               status == 200
-              and counters.get("requests") == 3
+              and counters.get("requests") == 4
               and counters.get("deadline_exceeded") == 1
+              and counters.get("unsolvable") == 1
               and counters.get("in_flight") == 0,
               f"counters={counters}")
 
