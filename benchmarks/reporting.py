@@ -48,11 +48,12 @@ QUICK_BENCHMARKS = (
     "bench_async_session.py",
     "bench_service.py",
     "bench_unsat.py",
+    "bench_profile.py",
 )
 
 #: Schema version of the aggregate trend file.  Bump on layout changes so
 #: downstream tooling comparing BENCH_<n>.json files across PRs can tell.
-TREND_SCHEMA = 1
+TREND_SCHEMA = 2
 
 
 def format_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -190,6 +191,157 @@ def _bench_number(path: str) -> Optional[int]:
     return int(match.group(1)) if match else None
 
 
+# ---------------------------------------------------------------------------
+# Per-metric deltas + the regression gate
+# ---------------------------------------------------------------------------
+
+#: Default relative noise band for the wall-time regression gate.  Shared CI
+#: runners jitter; a slowdown must exceed the band to count as a regression.
+#: Override with the ``BENCH_NOISE_BAND`` environment variable (e.g. ``0.2``
+#: on quiet dedicated hardware).
+DEFAULT_NOISE_BAND = 0.5
+
+#: Wall-time metrics faster than this (seconds) are exempt from the gate:
+#: at sub-50ms scales the relative band measures scheduler jitter, not code.
+MIN_GATED_SECONDS = 0.05
+
+
+def noise_band() -> float:
+    """The configured relative noise band (fraction, not percent)."""
+    raw = os.environ.get("BENCH_NOISE_BAND")
+    if raw:
+        try:
+            value = float(raw)
+            if value >= 0:
+                return value
+        except ValueError:
+            pass
+        print(
+            f"[bench-trend] ignoring invalid BENCH_NOISE_BAND={raw!r}",
+            file=sys.stderr,
+        )
+    return DEFAULT_NOISE_BAND
+
+
+def _parse_metric(value) -> Optional[float]:
+    """A float out of a recorded table cell (``"1.234"``, ``"2.5x"``, 7)."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if not isinstance(value, str):
+        return None
+    text = value.strip().rstrip("x")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def previous_trend(current_number: int) -> Optional[Dict]:
+    """The payload of the newest ``BENCH_<m>.json`` with ``m < n``, if any."""
+    best: Optional[tuple] = None
+    for path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")):
+        number = _bench_number(path)
+        if number is None or number >= current_number:
+            continue
+        if best is None or number > best[0]:
+            best = (number, path)
+    if best is None:
+        return None
+    try:
+        with open(best[1]) as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    if isinstance(payload, dict):
+        payload.setdefault("pr", best[0])
+        return payload
+    return None
+
+
+def compute_deltas(
+    current_tables: Dict[str, Dict], prior_tables: Dict[str, Dict]
+) -> Dict[str, Dict]:
+    """Per-metric deltas vs the prior trend file's tables.
+
+    Only numeric metrics present in both runs are compared.  A table whose
+    *title* changed between runs is skipped entirely (and marked
+    ``workload_changed``): benchmarks encode their workload in the title, so
+    a title change means the numbers measure different work and a delta
+    would be noise dressed up as signal.
+    """
+    deltas: Dict[str, Dict] = {}
+    for name, table in sorted(current_tables.items()):
+        prior = prior_tables.get(name)
+        if not isinstance(prior, dict):
+            continue
+        if prior.get("title") != table.get("title"):
+            deltas[name] = {"workload_changed": True}
+            continue
+        prior_rows = {
+            row[0]: row[1]
+            for row in prior.get("rows", ())
+            if isinstance(row, (list, tuple)) and len(row) >= 2
+        }
+        metrics: Dict[str, Dict] = {}
+        for row in table.get("rows", ()):
+            if not isinstance(row, (list, tuple)) or len(row) < 2:
+                continue
+            metric = row[0]
+            current = _parse_metric(row[1])
+            prior_value = _parse_metric(prior_rows.get(metric))
+            if current is None or prior_value is None:
+                continue
+            entry: Dict[str, object] = {
+                "previous": prior_value,
+                "current": current,
+            }
+            if prior_value:
+                entry["delta_pct"] = round(
+                    (current - prior_value) / prior_value * 100.0, 1
+                )
+            metrics[metric] = entry
+        if metrics:
+            deltas[name] = metrics
+    return deltas
+
+
+def check_regressions(trend: Dict, band: Optional[float] = None) -> List[str]:
+    """Wall-time regressions beyond the noise band, as failure strings.
+
+    Gated metrics are the ones benchmarks label with an ``[s]`` suffix —
+    wall times by convention.  A metric regresses when
+    ``current > previous * (1 + band)`` and the previous value is at least
+    :data:`MIN_GATED_SECONDS` (sub-jitter timings are informational only).
+    Missing prior data is never a failure: the first run after a workload
+    change has nothing comparable to regress against.
+    """
+    if band is None:
+        band = noise_band()
+    failures: List[str] = []
+    for table_name, metrics in sorted((trend.get("deltas") or {}).items()):
+        if not isinstance(metrics, dict) or metrics.get("workload_changed"):
+            continue
+        for metric, entry in sorted(metrics.items()):
+            if not isinstance(entry, dict) or not metric.endswith("[s]"):
+                continue
+            previous = entry.get("previous")
+            current = entry.get("current")
+            if not isinstance(previous, (int, float)) or not isinstance(
+                current, (int, float)
+            ):
+                continue
+            if previous < MIN_GATED_SECONDS:
+                continue
+            if current > previous * (1.0 + band):
+                failures.append(
+                    f"{table_name}: {metric} regressed "
+                    f"{previous:.3f}s -> {current:.3f}s "
+                    f"(+{(current - previous) / previous * 100.0:.0f}%, "
+                    f"band {band * 100.0:.0f}%)"
+                )
+    return failures
+
+
 def run_quick_benchmarks(scripts: Sequence[str] = QUICK_BENCHMARKS) -> List[Dict]:
     """Run every quick benchmark as a subprocess; one status entry each.
 
@@ -265,15 +417,21 @@ def write_trend(output: str, entries: List[Dict], since: Optional[float] = None)
         for entry in collect_history()
         if entry.get("file") != os.path.basename(output)
     ]
+    number = trend_number()
+    tables = collect_tables(since=since)
+    prior = previous_trend(number)
+    deltas = compute_deltas(tables, (prior or {}).get("tables") or {})
     trend = {
         "schema": TREND_SCHEMA,
         "source": "benchmarks/reporting.py --quick",
-        "pr": trend_number(),
+        "pr": number,
+        "previous_pr": prior.get("pr") if prior else None,
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benchmarks": entries,
-        "tables": collect_tables(since=since),
+        "tables": tables,
+        "deltas": deltas,
         "history": history,
     }
     with open(output, "w") as stream:
@@ -296,18 +454,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "where n comes from BENCH_TREND_NUMBER or CHANGES.md; see "
         "trend_number)",
     )
-    args = parser.parse_args(argv)
-    if not args.quick:
-        parser.error("nothing to do: pass --quick to run the trend sweep")
-    output = args.output or default_trend_path()
-    sweep_start = time.time()
-    entries = run_quick_benchmarks()
-    write_trend(output, entries, since=sweep_start)
-    failures = [e for e in entries if e["status"] != "ok"]
-    print(
-        f"[bench-trend] wrote {output}: {len(entries) - len(failures)}/"
-        f"{len(entries)} benchmarks ok"
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="after the sweep (or standalone against an existing trend "
+        "file), fail on wall-time regressions vs the previous BENCH_*.json "
+        "beyond the noise band (BENCH_NOISE_BAND, default "
+        f"{DEFAULT_NOISE_BAND})",
     )
+    args = parser.parse_args(argv)
+    if not args.quick and not args.check:
+        parser.error("nothing to do: pass --quick and/or --check")
+    output = args.output or default_trend_path()
+
+    failures: List[str] = []
+    if args.quick:
+        sweep_start = time.time()
+        entries = run_quick_benchmarks()
+        trend = write_trend(output, entries, since=sweep_start)
+        failed = [e for e in entries if e["status"] != "ok"]
+        failures += [f"{e['benchmark']} exited {e['returncode']}" for e in failed]
+        print(
+            f"[bench-trend] wrote {output}: {len(entries) - len(failed)}/"
+            f"{len(entries)} benchmarks ok"
+        )
+    else:
+        try:
+            with open(output) as stream:
+                trend = json.load(stream)
+        except (OSError, ValueError) as error:
+            print(f"[bench-trend] cannot read {output}: {error}", file=sys.stderr)
+            return 1
+
+    if args.check:
+        regressions = check_regressions(trend)
+        for regression in regressions:
+            print(f"[bench-trend] REGRESSION: {regression}", file=sys.stderr)
+        if not regressions:
+            compared = sum(
+                len(m)
+                for m in (trend.get("deltas") or {}).values()
+                if isinstance(m, dict) and not m.get("workload_changed")
+            )
+            print(
+                f"[bench-trend] regression check ok "
+                f"({compared} metrics compared, band {noise_band() * 100:.0f}%)"
+            )
+        failures += regressions
     return 1 if failures else 0
 
 

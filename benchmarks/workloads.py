@@ -13,6 +13,7 @@ Everything the benchmarks agree on lives here, in one place:
 
 from __future__ import annotations
 
+from repro.spack.generator import SyntheticRepoBuilder
 from repro.spack.repo import Repository, RepositoryShard, ShardedRepository
 from tests.conftest import MICRO_PACKAGES
 
@@ -104,3 +105,45 @@ def signature(result):
         sorted(result.built),
         sorted(result.reused),
     )
+
+
+# ---------------------------------------------------------------------------
+# Solver-heavy workload (grounder/solver hot-path benchmarks)
+# ---------------------------------------------------------------------------
+
+#: Builder knobs of the solver-heavy synthetic catalog.  320 packages across
+#: 6 layers with a fan-out of up to 6 dependencies makes the deepest roots
+#: reach ~70-package closures — big enough that grounding and solving (not
+#: session bookkeeping) dominate wall time, which is exactly where the
+#: micro-catalog workload's ~1.04x parallel "speedup" was lying to us.
+SOLVER_HEAVY_PACKAGES = 320
+SOLVER_HEAVY_SEED = 7
+
+#: The deepest root of that catalog (69 possible packages in its closure).
+SOLVER_HEAVY_ROOT = "synth-0296"
+
+#: One spec family over that root (same possible-package set, so the whole
+#: batch shares a single grounded base, like the micro family workload —
+#: but each solve grounds and searches a ~70-package problem).
+SOLVER_HEAVY_WORKLOAD = (
+    "synth-0296",
+    "synth-0296+opt0",
+    "synth-0296~opt0",
+    "synth-0296+opt1",
+    "synth-0296+opt0+opt1",
+    "synth-0296~opt0~opt1",
+)
+
+
+def solver_heavy_repo() -> Repository:
+    """The >=300-package synthetic catalog behind ``SOLVER_HEAVY_WORKLOAD``.
+
+    Deterministic (fixed seed), so every benchmark run and both join
+    strategies see byte-identical package definitions.
+    """
+    return SyntheticRepoBuilder(
+        num_packages=SOLVER_HEAVY_PACKAGES,
+        max_dependencies=6,
+        layers=6,
+        seed=SOLVER_HEAVY_SEED,
+    ).build()

@@ -22,14 +22,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.asp.completion import CompletedProgram, complete
-from repro.asp.configs import SolverConfig
+from repro.asp.configs import SolverConfig, SolverPreset
 from repro.asp.errors import SolveError
 from repro.asp.ground import GroundProgram
 from repro.asp.grounder import Grounder
+from repro.asp.naive import NaiveGrounder
 from repro.asp.optimization import OptimizationResult, Optimizer
 from repro.asp.parser import parse_program
 from repro.asp.solver import CDCLSolver
-from repro.asp.stats import PhaseTimer
+from repro.asp.stats import ASPStats, PhaseTimer
 from repro.asp.syntax import Program, ground_atom
 
 #: Parsed-program memo: the concretizer loads the same ~300-line logic program
@@ -37,6 +38,22 @@ from repro.asp.syntax import Program, ground_atom
 #: cached Program objects are treated as immutable by all consumers.
 _PARSE_CACHE: Dict[str, Program] = {}
 _PARSE_CACHE_LIMIT = 32
+
+#: selectable grounding implementations: the indexed/planned grounder is the
+#: default; the tuple-at-a-time reference stays available as an oracle and as
+#: an escape hatch (sessions accept ``join_strategy="naive"``)
+GROUNDER_CLASSES = {"indexed": Grounder, "naive": NaiveGrounder}
+
+
+def grounder_class(join_strategy: str):
+    """Resolve a join-strategy name to a grounder class (ValueError on typo)."""
+    try:
+        return GROUNDER_CLASSES[join_strategy]
+    except KeyError:
+        known = ", ".join(sorted(GROUNDER_CLASSES))
+        raise ValueError(
+            f"unknown join strategy {join_strategy!r} (known: {known})"
+        ) from None
 
 
 def parse_program_cached(text: str) -> Program:
@@ -110,8 +127,18 @@ class SolveResult:
 class Control:
     """Top-level entry point of the ASP system (the 'clingo' object)."""
 
-    def __init__(self, config: Optional[SolverConfig] = None):
+    def __init__(
+        self,
+        config: Optional[SolverConfig] = None,
+        preset: Optional[SolverPreset] = None,
+        join_strategy: str = "indexed",
+        stats: Optional[ASPStats] = None,
+    ):
         self.config = config or SolverConfig.preset("tweety")
+        #: explicit CDCL knobs override the config's (portfolio racing)
+        self.preset = preset
+        self.join_strategy = join_strategy
+        self.stats = stats
         self.timer = PhaseTimer()
         self.program = Program()
         self.extra_facts: List[Tuple] = []
@@ -147,7 +174,11 @@ class Control:
     def ground(self) -> GroundProgram:
         """Ground the program against the accumulated facts ("ground" phase)."""
         with self.timer.phase("ground"):
-            grounder = Grounder(self.program, self.extra_facts)
+            grounder = grounder_class(self.join_strategy)(
+                self.program, self.extra_facts
+            )
+            if self.stats is not None and isinstance(grounder, Grounder):
+                grounder.stats = self.stats
             self.ground_program = grounder.ground()
         return self.ground_program
 
@@ -160,27 +191,32 @@ class Control:
     # -- solving ---------------------------------------------------------------
 
     def _build_solver(self) -> CDCLSolver:
-        return CDCLSolver(
-            heuristic=self.config.heuristic,
-            default_phase=self.config.default_phase,
-            restart_strategy=self.config.restart_strategy,
-            restart_base=self.config.restart_base,
-            var_decay=self.config.var_decay,
-        )
+        preset = self.preset or SolverPreset.from_config(self.config)
+        return CDCLSolver(**preset.solver_kwargs())
 
     def solve(self, on_model=None) -> SolveResult:
         """Complete, search, and optimize ("solve" phase)."""
         if self.ground_program is None:
             self.ground()
 
+        stats = self.stats
+        stage = stats.stage if stats is not None else None
         with self.timer.phase("solve"):
-            self.completed = complete(self.ground_program, self._build_solver())
+            if stage is not None:
+                with stage("solve.complete"):
+                    self.completed = complete(self.ground_program, self._build_solver())
+            else:
+                self.completed = complete(self.ground_program, self._build_solver())
             self._optimizer = Optimizer(
                 self.completed,
                 enforce_stability=self.config.enforce_stability,
                 zero_first=self.config.zero_first,
             )
-            outcome: OptimizationResult = self._optimizer.optimize()
+            if stage is not None:
+                with stage("solve.search"):
+                    outcome: OptimizationResult = self._optimizer.optimize()
+            else:
+                outcome = self._optimizer.optimize()
 
         statistics: Dict[str, object] = {
             "ground": self.ground_program.statistics(),
@@ -254,15 +290,46 @@ class PreparedProgram:
         base_facts: Sequence[Tuple] = (),
         config: Optional[SolverConfig] = None,
         possible_hints: Sequence[Tuple] = (),
+        join_strategy: str = "indexed",
+        stats: Optional[ASPStats] = None,
+        fact_source=None,
     ):
+        """``fact_source``, when given, is a callable invoked with a
+        ``write(atom)`` sink; it streams base facts straight into the
+        grounder (no intermediate fact list) and may *return* extra possible
+        hints computed during emission (e.g. hints that depend on what was
+        encoded).  It composes with, and is ordered after, ``base_facts``.
+        """
         self.config = config or SolverConfig.preset("tweety")
+        self.join_strategy = join_strategy
+        self.stats = stats
         self.timer = PhaseTimer()
         with self.timer.phase("load"):
             self.program = parse_program_cached(text)
         atoms = [ground_atom(*fact) for fact in base_facts]
         hints = [ground_atom(*hint) for hint in possible_hints]
+        cls = grounder_class(join_strategy)
         with self.timer.phase("ground"):
-            self._base = Grounder(self.program, atoms, possible_hints=hints)
+            if cls is Grounder:
+                self._base = Grounder(
+                    self.program, atoms, possible_hints=hints, stats=stats
+                )
+                if fact_source is not None:
+                    streamed_hints = fact_source(self._base.fact_writer())
+                    if streamed_hints:
+                        self._base.add_possible_hints(
+                            ground_atom(*hint) for hint in streamed_hints
+                        )
+            else:
+                if fact_source is not None:
+                    streamed_hints = fact_source(
+                        lambda atom: atoms.append(ground_atom(*atom))
+                    )
+                    if streamed_hints:
+                        hints.extend(
+                            ground_atom(*hint) for hint in streamed_hints
+                        )
+                self._base = cls(self.program, atoms, possible_hints=hints)
             self._base.ground()
         self.forks = 0
 
@@ -288,6 +355,8 @@ class PreparedProgram:
         """
         layered = PreparedProgram.__new__(PreparedProgram)
         layered.config = self.config
+        layered.join_strategy = self.join_strategy
+        layered.stats = self.stats
         layered.timer = PhaseTimer()
         layered.program = self.program
         atoms = [ground_atom(*fact) for fact in extra_facts]
@@ -311,19 +380,34 @@ class PreparedProgram:
         self,
         extra_facts: Sequence[Tuple] = (),
         config: Optional[SolverConfig] = None,
+        preset: Optional[SolverPreset] = None,
+        fact_source=None,
     ) -> Control:
         """A :class:`Control` holding base + ``extra_facts``, ready to solve.
 
         Only the delta facts are ground here; the shared base program is
         reused as-is.  The returned control's timer accounts the incremental
         grounding under "ground" (its "load" is zero — parsing happened once,
-        in :meth:`__init__`).
+        in :meth:`__init__`).  ``fact_source`` streams additional delta
+        facts, same contract as in :meth:`__init__` (hints it returns are
+        ignored here — the delta layer derives possibility itself).
         """
         self.forks += 1
-        control = Control(config=config or self.config)
+        control = Control(
+            config=config or self.config,
+            preset=preset,
+            join_strategy=self.join_strategy,
+            stats=self.stats,
+        )
         with control.timer.phase("ground"):
             grounder = self._base.clone()
-            grounder.ground_delta([ground_atom(*fact) for fact in extra_facts])
+            atoms = [ground_atom(*fact) for fact in extra_facts]
+            if isinstance(grounder, Grounder):
+                grounder.ground_delta(atoms, fact_source=fact_source)
+            else:
+                if fact_source is not None:
+                    fact_source(lambda atom: atoms.append(ground_atom(*atom)))
+                grounder.ground_delta(atoms)
         control.adopt_ground(grounder.ground_program)
         return control
 

@@ -53,6 +53,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import AsyncIterator, List, Optional, Sequence, Tuple, Union
 
+from repro.asp.configs import SolverPreset
 from repro.spack.concretize.concretizer import ConcretizationResult, UnsatOutcome
 from repro.spack.concretize.session import (
     _WORKER_BATCHES,
@@ -164,13 +165,15 @@ class AsyncConcretizationSession:
     # Public solve API
     # ------------------------------------------------------------------
 
-    async def concretize(self, spec: Union[str, Spec]) -> ConcretizationResult:
+    async def concretize(
+        self, spec: Union[str, Spec], preset=None
+    ) -> ConcretizationResult:
         """Concretize one abstract spec through the session caches."""
-        results = await self.concretize_batch([spec])
+        results = await self.concretize_batch([spec], preset=preset)
         return results[0]
 
     async def concretize_batch(
-        self, specs: Sequence[Union[str, Spec]]
+        self, specs: Sequence[Union[str, Spec]], preset=None
     ) -> List[ConcretizationResult]:
         """Concretize every spec; results in *input* order.
 
@@ -186,7 +189,7 @@ class AsyncConcretizationSession:
         abandoned generator.
         """
         results: List[Optional[ConcretizationResult]] = [None] * len(specs)
-        stream = self.as_completed(specs)
+        stream = self.as_completed(specs, preset=preset)
         try:
             async for index, result in stream:
                 results[index] = result
@@ -195,7 +198,7 @@ class AsyncConcretizationSession:
         return results
 
     async def as_completed(
-        self, specs: Sequence[Union[str, Spec]]
+        self, specs: Sequence[Union[str, Spec]], preset=None
     ) -> AsyncIterator[Tuple[int, ConcretizationResult]]:
         """Stream ``(input index, result)`` pairs in *completion* order.
 
@@ -209,8 +212,14 @@ class AsyncConcretizationSession:
         Cancelling the consuming task (or closing the generator early)
         cancels pending pool futures and returns the leased workers; a solver
         error propagates to the consumer after the same cleanup.
+
+        ``preset`` pins every solve in the batch to one validated
+        :class:`~repro.asp.configs.SolverPreset` (same contract as
+        ``ConcretizationSession.solve``); it bypasses the portfolio race.
         """
         session = self.session
+        if preset is not None:
+            preset = SolverPreset.from_value(preset)
         semaphore, ground_lock = self._primitives()
         loop = asyncio.get_running_loop()
         abstract = session._as_specs(specs)
@@ -283,9 +292,19 @@ class AsyncConcretizationSession:
                 # statistics (a concurrent call may be doing the same)
                 async with semaphore:
                     try:
+                        # race=True: off-thread state isolation is what
+                        # worker=True is for here; a portfolio race is still
+                        # welcome on the fallback thread (no pool to nest in).
+                        # Extra kwargs only when those features are active
+                        # (tests wrap _solve_uncached with the base signature)
+                        kwargs = {"worker": True}
+                        if preset is not None:
+                            kwargs["preset"] = preset
+                        elif session.portfolio is not None:
+                            kwargs["race"] = True
                         concretization = await loop.run_in_executor(
                             self._fallback_pool(),
-                            lambda: session._solve_uncached(unique[0], worker=True),
+                            lambda: session._solve_uncached(unique[0], **kwargs),
                         )
                     except UnsatisfiableSpecError as error:
                         session.stats.delta_groundings += 1
@@ -302,12 +321,14 @@ class AsyncConcretizationSession:
             # -- fan out: one executor per call, workers leased under the
             #    session-wide semaphore
             batch_token = next(_WORKER_BATCH_IDS)
-            _WORKER_BATCHES[batch_token] = (session, list(unique))
+            _WORKER_BATCHES[batch_token] = (session, list(unique), preset)
             backend = session._resolve_backend()
             executor = self._make_executor(backend, len(unique))
             tasks = [
                 asyncio.ensure_future(
-                    self._solve_on_pool(executor, backend, batch_token, i, unique[i])
+                    self._solve_on_pool(
+                        executor, backend, batch_token, i, unique[i], preset
+                    )
                 )
                 for i in range(len(unique))
             ]
@@ -364,6 +385,7 @@ class AsyncConcretizationSession:
         batch_token: int,
         index: int,
         spec: Spec,
+        preset=None,
     ) -> Tuple[int, Union[ConcretizationResult, UnsatisfiableSpecError]]:
         """Solve one cache-missing spec under the concurrency semaphore.
 
@@ -404,9 +426,12 @@ class AsyncConcretizationSession:
             # threads at once, and only the worker path is guaranteed not to
             # mutate shared session state (base LRU, statistics)
             try:
+                kwargs = {"worker": True}
+                if preset is not None:
+                    kwargs["preset"] = preset
                 result = await loop.run_in_executor(
                     self._fallback_pool(),
-                    lambda: self.session._solve_uncached(spec, worker=True),
+                    lambda: self.session._solve_uncached(spec, **kwargs),
                 )
             except UnsatisfiableSpecError as error:
                 return index, error

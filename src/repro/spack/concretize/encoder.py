@@ -84,6 +84,11 @@ class ProblemEncoder:
         self.reuse = reuse
 
         self.facts: List[Fact] = []
+        #: optional streaming sink: when set, every emitted fact is pushed
+        #: through it as soon as it is built (grounder writer callback), in
+        #: addition to being recorded in :attr:`facts` for provenance and
+        #: unsat explanations
+        self.sink = None
         # one entry per retractable constraint this encoder emitted, in
         # emission order; a forked (delta) encoder records only its own —
         # explanation callers concatenate base + delta provenance
@@ -127,7 +132,9 @@ class ProblemEncoder:
 
     # -- layered encoding (batch concretization sessions) ---------------
 
-    def encode_base(self, specs: Optional[Sequence[Spec]] = None) -> List[Fact]:
+    def encode_base(
+        self, specs: Optional[Sequence[Spec]] = None, sink=None
+    ) -> List[Fact]:
         """The *spec-independent* fact layer.
 
         Covers everything derived from the repository, platform, compiler
@@ -140,8 +147,18 @@ class ProblemEncoder:
 
         With ``specs``, possible packages are restricted to the union
         reachable from them (what a batch session uses); without, the whole
-        repository is encoded.
+        repository is encoded.  With ``sink``, every fact streams through the
+        callback as it is emitted (grounder fact writer) instead of being
+        consumed from the returned list afterwards.
         """
+        if sink is not None:
+            self.sink = sink
+        try:
+            return self._encode_base(specs)
+        finally:
+            self.sink = None
+
+    def _encode_base(self, specs: Optional[Sequence[Spec]]) -> List[Fact]:
         if specs is not None:
             self._determine_possible_packages(specs)
         else:
@@ -289,18 +306,24 @@ class ProblemEncoder:
         child.stats.installed_candidates = self.stats.installed_candidates
         return child
 
-    def encode_delta(self, specs: Sequence[Spec]) -> List[Fact]:
+    def encode_delta(self, specs: Sequence[Spec], sink=None) -> List[Fact]:
         """The *spec-dependent* fact layer for ``specs`` (on a fork).
 
         Emits the roots, their imposed constraints (as fresh conditions), and
         constraint-membership facts only for version/compiler constraints the
-        input specs introduced beyond the base layer.
+        input specs introduced beyond the base layer.  With ``sink``, facts
+        stream through the callback as they are emitted.
         """
-        for spec in specs:
-            if spec.name is None:
-                raise SpackError("cannot concretize an anonymous spec")
-            self._encode_input_spec(spec)
-        self._encode_constraint_support()
+        if sink is not None:
+            self.sink = sink
+        try:
+            for spec in specs:
+                if spec.name is None:
+                    raise SpackError("cannot concretize an anonymous spec")
+                self._encode_input_spec(spec)
+            self._encode_constraint_support()
+        finally:
+            self.sink = None
         self.stats.facts = len(self.facts)
         return self.facts
 
@@ -335,7 +358,10 @@ class ProblemEncoder:
     # ------------------------------------------------------------------
 
     def _fact(self, *atom):
-        self.facts.append(tuple(atom))
+        fact = tuple(atom)
+        self.facts.append(fact)
+        if self.sink is not None:
+            self.sink(fact)
 
     def _new_condition(self) -> int:
         self._condition_counter += 1

@@ -67,9 +67,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.asp.configs import SolverConfig
-from repro.asp.control import PreparedProgram
-from repro.asp.stats import Timer
+from repro.asp.configs import SolverConfig, SolverPreset
+from repro.asp.control import PreparedProgram, grounder_class
+from repro.asp.portfolio import PortfolioSolver, resolve_presets
+from repro.asp.stats import ASPStats, Timer
 from repro.spack.architecture import Platform, default_platform
 from repro.spack.compilers import CompilerRegistry
 from repro.spack.concretize.concretizer import (
@@ -254,15 +255,29 @@ class _GroundedBase:
             self._build_monolithic(session, abstract)
 
     def _build_monolithic(self, session: "ConcretizationSession", abstract: Sequence[Spec]):
-        base_facts = self.encoder.encode_base(abstract)
-        # Ground the base as if any possible package could be a root: the
-        # `root(P)` possibility seeds let every node/version/variant rule
-        # instantiate once, up front, so per-spec deltas only ground the
-        # input conditions themselves.  Hinted-but-unsupported atoms are
-        # forced false by completion, so solves stay exact.
-        hints = [("root", name) for name in sorted(self.encoder.possible_packages)]
+        encoder = self.encoder
+
+        # Stream encoder -> grounder: every emitted fact is interned into
+        # the ground state as soon as `_fact` produces it, so no
+        # intermediate base-fact list is materialized on the hot path (the
+        # encoder still records facts for provenance/explanations).  The
+        # source *returns* the root-possibility hints because
+        # `possible_packages` is only known once encoding ran: grounding
+        # the base as if any possible package could be a root lets every
+        # node/version/variant rule instantiate once, up front, so
+        # per-spec deltas only ground the input conditions themselves.
+        # Hinted-but-unsupported atoms are forced false by completion, so
+        # solves stay exact.
+        def stream_base(write):
+            encoder.encode_base(abstract, sink=write)
+            return [("root", name) for name in sorted(encoder.possible_packages)]
+
         self.prepared = PreparedProgram(
-            logic_program(), base_facts, config=session.config, possible_hints=hints
+            logic_program(),
+            config=session.config,
+            join_strategy=session.join_strategy,
+            stats=session.asp_stats,
+            fact_source=stream_base,
         )
 
     def _build_layered(self, session: "ConcretizationSession", abstract: Sequence[Spec]):
@@ -296,6 +311,8 @@ class _GroundedBase:
                     layer.facts,
                     config=session.config,
                     possible_hints=layer.hints,
+                    join_strategy=session.join_strategy,
+                    stats=session.asp_stats,
                 )
             else:
                 prepared = prepared.extend(layer.facts, possible_hints=layer.hints)
@@ -347,7 +364,7 @@ def clear_shared_bases() -> None:
 #: their batch's entry is registered, so they inherit it (plus the session's
 #: already grounded bases) through copy-on-write memory; thread workers read
 #: it directly.  Only :meth:`ConcretizationSession._run_workers` writes it.
-_WORKER_BATCHES: Dict[int, Tuple["ConcretizationSession", List[Spec]]] = {}
+_WORKER_BATCHES: Dict[int, Tuple] = {}
 _WORKER_BATCH_IDS = iter(range(1, 2**63))
 
 
@@ -358,7 +375,11 @@ def _worker_solve(batch: int, index: int) -> "ConcretizationResult":
     the session (the grounded base is forked per solve, never mutated), so
     the same function is safe on thread and on forked process workers.
     """
-    session, specs = _WORKER_BATCHES[batch]
+    entry = _WORKER_BATCHES[batch]
+    session, specs = entry[0], entry[1]
+    preset = entry[2] if len(entry) > 2 else None
+    if preset is not None:
+        return session._solve_uncached(specs[index], worker=True, preset=preset)
     return session._solve_uncached(specs[index], worker=True)
 
 
@@ -451,7 +472,24 @@ class ConcretizationSession:
       scheduler-visible CPU count (:func:`default_worker_count`);
     * ``worker_backend`` — ``"process"`` (fork-based, true parallelism),
       ``"thread"``, or ``"auto"`` (processes wherever ``fork`` exists).
-      Any pool failure degrades to in-process sequential solving.
+      Any pool failure degrades to in-process sequential solving;
+    * ``join_strategy`` — ``"indexed"`` (default; the interned, index-join
+      grounder) or ``"naive"`` (the reference tuple-at-a-time grounder in
+      :mod:`repro.asp.naive`).  Both derive identical ground programs; the
+      knob exists for oracle tests and benchmarking.  The strategy is part
+      of every ground-cache key, so strategies never share pickled bases;
+    * ``profile`` — opt-in hot-path instrumentation: ``True`` collects
+      per-stage grounding/solving timers (an :class:`repro.asp.stats.ASPStats`),
+      ``"rules"`` additionally times each rule; exposed via
+      :meth:`statistics` under ``"asp"`` (and ``/v1/stats`` in the service);
+    * ``portfolio`` — race CDCL presets per solve (first answer wins):
+      ``True`` races the default 2×2 preset lineup
+      (:data:`repro.asp.configs.PORTFOLIO_PRESETS`), an int ``n`` the first
+      ``n`` presets, a sequence custom
+      :class:`~repro.asp.configs.SolverPreset` values (or preset names /
+      dicts).  Results are element-wise identical to sequential solves
+      (deterministic extraction; see :mod:`repro.asp.portfolio`); pool
+      workers never nest a race.
     """
 
     def __init__(
@@ -470,6 +508,9 @@ class ConcretizationSession:
         cache_max_bytes: Optional[int] = None,
         workers: Union[int, str] = 1,
         worker_backend: str = "auto",
+        join_strategy: str = "indexed",
+        profile: Union[bool, str] = False,
+        portfolio: Union[bool, int, Sequence] = False,
     ):
         self.repo = repo or builtin_repository()
         self.platform = platform or default_platform()
@@ -504,6 +545,16 @@ class ConcretizationSession:
         if worker_backend not in ("auto", "process", "thread"):
             raise ValueError(f"unknown worker backend: {worker_backend!r}")
         self.worker_backend = worker_backend
+        grounder_class(join_strategy)  # validate eagerly (raises ValueError)
+        self.join_strategy = join_strategy
+        self.profile = profile
+        self.asp_stats: Optional[ASPStats] = (
+            ASPStats(per_rule=(profile == "rules")) if profile else None
+        )
+        presets = resolve_presets(portfolio)
+        self.portfolio: Optional[PortfolioSolver] = (
+            PortfolioSolver(presets, stats=self.asp_stats) if presets else None
+        )
         self.stats = SessionStatistics()
         self._content_hash: Optional[str] = None
         self._context_token: Optional[str] = None
@@ -576,6 +627,7 @@ class ConcretizationSession:
         prefix = (
             "shard-layer",
             self.context_token(),
+            self.join_strategy,
             self._store_token(),
             repo.providers_digest(),
             frozenset(encoder.possible_packages),
@@ -629,12 +681,26 @@ class ConcretizationSession:
             self.ground_cache.put(key, prepared)
         self._ground_persisted.add(key)
 
+    def _attach_instrumentation(self, prepared: PreparedProgram) -> None:
+        """Point a (possibly disk- or memo-loaded) prepared program at this
+        session's profiling collector, so warm bases report here too."""
+        if self.asp_stats is not None and prepared.stats is not self.asp_stats:
+            prepared.stats = self.asp_stats
+            prepared._base.stats = self.asp_stats
+
     def statistics(self) -> Dict[str, object]:
         """Session counters plus the active base's grounder statistics."""
         result: Dict[str, object] = dict(self.stats.as_dict())
         result["solve_cache"] = self.solve_cache.statistics()
         if self._last_base is not None:
             result["base"] = self._last_base.statistics()
+        result["join_strategy"] = self.join_strategy
+        if self.portfolio is not None:
+            result["portfolio"] = [
+                preset.to_dict() for preset in self.portfolio.presets
+            ]
+        if self.asp_stats is not None:
+            result["asp"] = self.asp_stats.as_dict()
         return result
 
     # ------------------------------------------------------------------
@@ -727,6 +793,7 @@ class ConcretizationSession:
     def _base_key(self, abstract: Sequence[Spec]) -> Tuple:
         return (
             self.content_hash(),
+            self.join_strategy,
             self._store_token(),
             self._possible_packages(abstract),
         )
@@ -749,7 +816,11 @@ class ConcretizationSession:
 
     # ------------------------------------------------------------------
 
-    def solve(self, specs: Sequence[Union[str, Spec]]) -> List[ConcretizationResult]:
+    def solve(
+        self,
+        specs: Sequence[Union[str, Spec]],
+        preset=None,
+    ) -> List[ConcretizationResult]:
         """Concretize every spec (one independent solve each), sharing the
         grounded base across the batch and replaying cached solves.
 
@@ -758,19 +829,36 @@ class ConcretizationSession:
         batch is solved on a worker pool (see :meth:`_solve_parallel`), which
         is element-wise identical to — just faster than — the sequential
         path.
+
+        ``preset`` pins this batch's CDCL heuristics to one validated
+        :class:`~repro.asp.configs.SolverPreset` (a preset instance, name,
+        or dict; see :meth:`SolverPreset.from_value`).  Extracted results
+        are preset-invariant (the optimization criteria pin a unique
+        optimum — property-tested), so the solve cache is shared across
+        presets and an explicit preset also bypasses the portfolio race.
         """
+        if preset is not None:
+            preset = SolverPreset.from_value(preset)
         abstract = self._as_specs(specs)
         if self.workers > 1 and len(abstract) > 1:
-            return self._solve_parallel(abstract)
-        return [self._solve_one(spec) for spec in abstract]
+            return self._solve_parallel(abstract, preset=preset)
+        return [self._solve_one(spec, preset=preset) for spec in abstract]
 
-    def concretize(self, spec: Union[str, Spec]) -> ConcretizationResult:
+    def concretize(
+        self, spec: Union[str, Spec], preset=None
+    ) -> ConcretizationResult:
         """Concretize a single abstract spec through the session caches."""
-        return self.solve([spec])[0]
+        return self.solve([spec], preset=preset)[0]
 
     # ------------------------------------------------------------------
 
-    def _solve_uncached(self, spec: Spec, worker: bool = False) -> ConcretizationResult:
+    def _solve_uncached(
+        self,
+        spec: Spec,
+        worker: bool = False,
+        preset: Optional[SolverPreset] = None,
+        race: Optional[bool] = None,
+    ) -> ConcretizationResult:
         """One full solve, bypassing the solve cache (shared base + delta).
 
         This is the unit of work a pool worker executes (``worker=True``):
@@ -786,13 +874,33 @@ class ConcretizationSession:
                 base = self._base_for([spec])
         else:
             base = self._base_for([spec])
+        self._attach_instrumentation(base.prepared)
         encoder = base.encoder.fork()
-        with Timer() as setup_timer:
-            delta_facts = encoder.encode_delta([spec])
-        control = base.prepared.fork(delta_facts, config=self.config)
+
+        # Stream the per-spec delta facts from the encoder straight into
+        # the forked grounder (no intermediate list on the hot path); the
+        # encoder's own fact log still accumulates for the explainer.
+        setup_timer = Timer()
+        delta_facts: List[Tuple] = []
+
+        def stream_delta(write):
+            with setup_timer:
+                delta_facts.extend(encoder.encode_delta([spec], sink=write))
+
+        control = base.prepared.fork(
+            config=self.config, preset=preset, fact_source=stream_delta
+        )
         control.timer.add("setup", setup_timer.elapsed)
 
-        result = control.solve()
+        # Race the portfolio unless an explicit preset pins the heuristics
+        # or this is a pool worker (never nest a race inside a pool; the
+        # async fallback-thread path opts back in via ``race=True``).
+        if race is None:
+            race = not worker
+        if self.portfolio is not None and race and preset is None:
+            result = self.portfolio.solve(control)
+        else:
+            result = control.solve()
         statistics: Dict[str, object] = {
             "encoding": encoder.stats.as_dict(),
             **result.statistics,
@@ -815,7 +923,9 @@ class ConcretizationSession:
 
         return result_from_solve([spec], result, statistics, explainer=explainer)
 
-    def _solve_one(self, spec: Spec) -> ConcretizationResult:
+    def _solve_one(
+        self, spec: Spec, preset: Optional[SolverPreset] = None
+    ) -> ConcretizationResult:
         self.stats.specs_solved += 1
         key = self._solve_key(spec)
         cached = self.solve_cache.get(key)
@@ -829,7 +939,7 @@ class ConcretizationSession:
         self.stats.solve_cache_misses += 1
 
         try:
-            concretization = self._solve_uncached(spec)
+            concretization = self._solve_uncached(spec, preset=preset)
         except UnsatisfiableSpecError as error:
             # unsat outcomes (message + minimal core) are cached under the
             # same content-hash key, so warm replays raise identically
@@ -845,7 +955,9 @@ class ConcretizationSession:
     # Parallel fan-out
     # ------------------------------------------------------------------
 
-    def _solve_parallel(self, abstract: List[Spec]) -> List[ConcretizationResult]:
+    def _solve_parallel(
+        self, abstract: List[Spec], preset: Optional[SolverPreset] = None
+    ) -> List[ConcretizationResult]:
         """Fan the batch out to a worker pool, preserving sequential semantics.
 
         The cache pass runs first, in the parent: hits (including duplicate
@@ -893,12 +1005,12 @@ class ConcretizationSession:
                 # a single miss gains nothing from a pool; solve it inline
                 try:
                     solved: List[Union[ConcretizationResult, UnsatisfiableSpecError]] = [
-                        self._solve_uncached(unique[0])
+                        self._solve_uncached(unique[0], preset=preset)
                     ]
                 except UnsatisfiableSpecError as error:
                     solved = [error]
             else:
-                solved = self._fan_out(unique)
+                solved = self._fan_out(unique, preset=preset)
             for (key, indices), outcome in zip(pending.items(), solved):
                 self.stats.delta_groundings += 1
                 if isinstance(outcome, UnsatisfiableSpecError):
@@ -915,7 +1027,9 @@ class ConcretizationSession:
             raise failures[0][1]
         return results
 
-    def _fan_out(self, unique: List[Spec]) -> List[ConcretizationResult]:
+    def _fan_out(
+        self, unique: List[Spec], preset: Optional[SolverPreset] = None
+    ) -> List[ConcretizationResult]:
         """Pre-ground the needed bases, then run ``unique`` on the pool.
 
         Grounding happens in the parent, before workers fork, so every
@@ -933,7 +1047,7 @@ class ConcretizationSession:
         try:
             for spec in unique:
                 self._base_for([spec])
-            return self._run_workers(unique)
+            return self._run_workers(unique, preset=preset)
         finally:
             self._base_demands.pop(token, None)
 
@@ -945,7 +1059,7 @@ class ConcretizationSession:
         return "thread"
 
     def _run_workers(
-        self, specs: List[Spec]
+        self, specs: List[Spec], preset: Optional[SolverPreset] = None
     ) -> List[Union[ConcretizationResult, UnsatisfiableSpecError]]:
         """Solve ``specs`` (all cache misses, bases pre-grounded) on a pool.
 
@@ -968,7 +1082,7 @@ class ConcretizationSession:
             outcomes: List[Union[ConcretizationResult, UnsatisfiableSpecError]] = []
             for spec in specs:
                 try:
-                    outcomes.append(self._solve_uncached(spec))
+                    outcomes.append(self._solve_uncached(spec, preset=preset))
                 except UnsatisfiableSpecError as error:
                     outcomes.append(error)
             return outcomes
@@ -976,7 +1090,7 @@ class ConcretizationSession:
         workers = min(self.workers, len(specs))
         backend = self._resolve_backend()
         batch = next(_WORKER_BATCH_IDS)
-        _WORKER_BATCHES[batch] = (self, list(specs))
+        _WORKER_BATCHES[batch] = (self, list(specs), preset)
         executor = None
         try:
             try:

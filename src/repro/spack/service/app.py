@@ -41,6 +41,7 @@ import threading
 from contextlib import aclosing
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
 
+from repro.asp.configs import SolverPreset
 from repro.spack.concretize.async_session import AsyncConcretizationSession
 from repro.spack.concretize.concretizer import ConcretizationResult
 from repro.spack.concretize.session import ConcretizationSession
@@ -177,8 +178,7 @@ class TenantState:
             "catalog": self.repo.name,
             "packages": len(self.repo),
         }
-        stats.update(self.session.stats.as_dict())
-        stats["solve_cache"] = self.session.solve_cache.statistics()
+        stats.update(self.session.statistics())
         return stats
 
 
@@ -380,6 +380,20 @@ class ConcretizationService:
                 raise BadRequestError(f"invalid spec {text!r}: {exc}") from exc
         return specs
 
+    @staticmethod
+    def _parse_preset(preset):
+        """Validate a per-request solver preset (name, dict, or instance).
+
+        Invalid values are a *request* problem, not a solver one: they map
+        to 400 with the validator's message intact.
+        """
+        if preset is None:
+            return None
+        try:
+            return SolverPreset.from_value(preset)
+        except (ValueError, TypeError) as exc:
+            raise BadRequestError(f"invalid solver preset: {exc}") from exc
+
     def _deadline(self, deadline_s: Optional[float]) -> float:
         if deadline_s is None:
             return self.default_deadline_s
@@ -450,11 +464,16 @@ class ConcretizationService:
     # -- solving --------------------------------------------------------
 
     async def _run_batch(
-        self, state: TenantState, specs: List[Spec], deadline_s: float
+        self,
+        state: TenantState,
+        specs: List[Spec],
+        deadline_s: float,
+        preset=None,
     ) -> List[ConcretizationResult]:
         try:
             return await asyncio.wait_for(
-                state.async_session.concretize_batch(specs), timeout=deadline_s
+                state.async_session.concretize_batch(specs, preset=preset),
+                timeout=deadline_s,
             )
         except asyncio.TimeoutError:
             # wait_for cancelled the batch task before raising: the async
@@ -479,10 +498,11 @@ class ConcretizationService:
         *,
         tenant: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        preset=None,
     ) -> Dict[str, object]:
         """Concretize one spec; the ``POST /v1/concretize`` core."""
         return self.concretize_batch(
-            [spec], tenant=tenant, deadline_s=deadline_s
+            [spec], tenant=tenant, deadline_s=deadline_s, preset=preset
         )["results"][0]
 
     def concretize_batch(
@@ -491,18 +511,27 @@ class ConcretizationService:
         *,
         tenant: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        preset=None,
     ) -> Dict[str, object]:
-        """Concretize a batch (input order); ``POST /v1/concretize_batch``."""
+        """Concretize a batch (input order); ``POST /v1/concretize_batch``.
+
+        ``preset`` pins the batch's CDCL heuristics to a validated
+        :class:`~repro.asp.configs.SolverPreset` (results are
+        preset-invariant; only wall time changes).
+        """
         self._check_running()
         self._count("requests")
         state = self._tenant(tenant)
+        preset = self._parse_preset(preset)
         parsed = self._parse_specs(list(specs))
         deadline = self._deadline(deadline_s)
         self._admit()
         try:
             state.requests += 1
             try:
-                results = self._submit(self._run_batch(state, parsed, deadline))
+                results = self._submit(
+                    self._run_batch(state, parsed, deadline, preset=preset)
+                )
             except DeadlineExceededError:
                 self._count("deadline_exceeded")
                 raise
@@ -532,6 +561,7 @@ class ConcretizationService:
         specs: List[Spec],
         deadline_s: float,
         out: "queue.Queue",
+        preset=None,
     ) -> None:
         """Drive ``as_completed`` on the loop, feeding a thread-safe queue.
 
@@ -543,7 +573,7 @@ class ConcretizationService:
         try:
             async def consume():
                 async with aclosing(
-                    state.async_session.as_completed(specs)
+                    state.async_session.as_completed(specs, preset=preset)
                 ) as stream:
                     async for index, result in stream:
                         self._count("specs_concretized")
@@ -576,6 +606,7 @@ class ConcretizationService:
         *,
         tenant: Optional[str] = None,
         deadline_s: Optional[float] = None,
+        preset=None,
     ) -> Iterator[Dict[str, object]]:
         """Yield per-result records in *completion* order, then a summary.
 
@@ -589,6 +620,7 @@ class ConcretizationService:
         self._check_running()
         self._count("requests")
         state = self._tenant(tenant)
+        preset = self._parse_preset(preset)
         texts = [str(text) for text in specs]
         parsed = self._parse_specs(texts)
         deadline = self._deadline(deadline_s)
@@ -598,7 +630,8 @@ class ConcretizationService:
             out: "queue.Queue" = queue.Queue()
             state.requests += 1
             future = asyncio.run_coroutine_threadsafe(
-                self._pump(state, texts, parsed, deadline, out), self._loop
+                self._pump(state, texts, parsed, deadline, out, preset=preset),
+                self._loop,
             )
             try:
                 while True:

@@ -5,11 +5,15 @@ handler thread per connection, no third-party dependencies — that maps the
 service core onto four endpoints:
 
 ``POST /v1/concretize``
-    Body ``{"spec": "zlib@1.2.8", "tenant": ..., "deadline_s": ...}``;
+    Body ``{"spec": "zlib@1.2.8", "tenant": ..., "deadline_s": ...,
+    "preset": ...}`` (``preset`` optionally pins the CDCL heuristics to a
+    named/validated :class:`~repro.asp.configs.SolverPreset`; invalid
+    presets are 400s);
     responds with the concretized result payload.
 
 ``POST /v1/concretize_batch``
-    Body ``{"specs": [...], "tenant": ..., "deadline_s": ..., "stream": bool}``.
+    Body ``{"specs": [...], "tenant": ..., "deadline_s": ..., "stream": bool,
+    "preset": ...}``.
     Without ``stream``, responds with ``{"results": [...]}`` in input order.
     With ``"stream": true``, responds ``200 application/x-ndjson`` with one
     JSON record per line in *completion* order (chunked transfer encoding),
@@ -157,7 +161,9 @@ class ConcretizationRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(spec, str):
             raise BadRequestError("body must carry a string 'spec' field")
         tenant, deadline = self._request_options(body)
-        result = self.service.concretize(spec, tenant=tenant, deadline_s=deadline)
+        result = self.service.concretize(
+            spec, tenant=tenant, deadline_s=deadline, preset=body.get("preset")
+        )
         self._send_json(200, {"tenant": tenant or "default", "result": result})
 
     def _concretize_batch(self):
@@ -166,14 +172,15 @@ class ConcretizationRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(specs, list):
             raise BadRequestError("body must carry a list 'specs' field")
         tenant, deadline = self._request_options(body)
+        preset = body.get("preset")
         if body.get("stream"):
             records = self.service.stream_batch(
-                specs, tenant=tenant, deadline_s=deadline
+                specs, tenant=tenant, deadline_s=deadline, preset=preset
             )
             self._stream_ndjson(records)
             return
         payload = self.service.concretize_batch(
-            specs, tenant=tenant, deadline_s=deadline
+            specs, tenant=tenant, deadline_s=deadline, preset=preset
         )
         self._send_json(200, payload)
 

@@ -1,0 +1,90 @@
+"""SymbolTable: the interning contract the grounder hot path relies on.
+
+Everything downstream of the grounder assumes three properties:
+
+* **bijection** — ids are dense, stable, and round-trip back to the exact
+  values that were interned (including type distinctions like ``1`` vs
+  ``"1"`` where hashing would happily collapse semantics);
+* **pickle-stability** — a table that crosses a process/cache boundary
+  assigns the *same* ids to already-known values afterwards, so id-tuples
+  grounded before the pickle stay valid after it;
+* **thread-safety** — concurrent interning of overlapping values from
+  thread-backend workers never assigns two ids to one value.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.asp.symbols import SymbolTable
+
+
+def test_intern_is_idempotent_and_dense():
+    table = SymbolTable()
+    ids = [table.intern(v) for v in ("zlib", "1.2.11", 3, "zlib", 3)]
+    assert ids == [0, 1, 2, 0, 2]
+    assert len(table) == 3
+
+
+def test_round_trip_values():
+    table = SymbolTable()
+    values = ("node", "zlib", 7, True, ("nested", 1))
+    symbols = table.intern_tuple(values)
+    assert table.materialize(symbols) == values
+    assert [table.value(s) for s in symbols] == list(values)
+
+
+def test_distinct_types_stay_distinct():
+    # version "1" and int 1 are different ground terms and must keep
+    # different ids
+    table = SymbolTable()
+    assert table.intern(1) != table.intern("1")
+    # bool and int DO collapse (1 == True under dict equality) — which is
+    # why ground_atom normalizes bools to ints before anything is interned;
+    # this pin documents the invariant that normalization relies on
+    assert table.intern(True) == table.intern(1)
+
+
+def test_seeded_construction_preserves_ids():
+    table = SymbolTable(["a", "b", "c"])
+    assert table.intern("a") == 0
+    assert table.intern("c") == 2
+    assert table.intern("d") == 3
+
+
+def test_pickle_round_trip_keeps_ids_stable():
+    table = SymbolTable()
+    before = {v: table.intern(v) for v in ("attr", "node", "zlib", 5)}
+    clone = pickle.loads(pickle.dumps(table))
+    assert len(clone) == len(table)
+    for value, symbol in before.items():
+        assert clone.intern(value) == symbol
+        assert clone.value(symbol) == value
+    # the clone keeps assigning dense ids past the pickled prefix
+    assert clone.intern("fresh") == len(before)
+
+
+def test_concurrent_intern_assigns_one_id_per_value():
+    table = SymbolTable()
+    universe = [f"value-{i}" for i in range(200)]
+    results = []
+
+    def worker(offset):
+        local = {}
+        for value in universe[offset:] + universe[:offset]:
+            local[value] = table.intern(value)
+        results.append(local)
+
+    threads = [threading.Thread(target=worker, args=(o,)) for o in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert len(table) == len(universe)
+    canonical = results[0]
+    for local in results[1:]:
+        assert local == canonical
+    for value, symbol in canonical.items():
+        assert table.value(symbol) == value

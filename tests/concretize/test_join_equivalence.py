@@ -1,0 +1,223 @@
+"""Indexed joins vs the naive grounder: an exact-equivalence oracle.
+
+The indexed grounder (ISSUE 8 tentpole) reimplements grounding on interned
+symbols, per-predicate argument indexes, and compiled join plans.  Its only
+license to exist is being *faster while byte-identical*: for any program the
+naive tuple-at-a-time grounder accepts, both engines must derive the same
+certain facts, the same possible-atom universe, the same rule/choice/
+constraint counts — and therefore the same concretization results.
+
+Three layers of oracle:
+
+* raw ASP programs chosen to stress join-planner corner cases (negation,
+  comparisons binding late, arithmetic, conditionals, recursion through
+  choices);
+* full concretization sessions (monolithic and sharded catalogs), compared
+  element-wise cold and warm;
+* persistent-cache round-trips, where the two strategies must never share a
+  cached base (a naive session replaying an indexed pickle or vice versa
+  would be a silent lie).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asp.control import PreparedProgram, grounder_class
+from repro.spack.concretize import ConcretizationSession
+from repro.spack.concretize.session import clear_shared_bases
+
+from tests.concretize.test_sharded_repo import micro_flat, micro_sharded
+
+BATCH = [
+    "example",
+    "example+bzip",
+    "example~bzip",
+    "example@1.0.0",
+    "minitool",
+    "miniapp",
+]
+
+#: programs picked to hit join-planner corner cases, not to look pretty
+TRICKY_PROGRAMS = (
+    # multi-way join with a shared variable and a constant
+    """
+    p(1). p(2). p(3). q(2). q(3). r(3).
+    a(X) :- p(X), q(X), r(X).
+    b(X,Y) :- p(X), q(Y), X != Y.
+    """,
+    # negation as failure over a derived predicate
+    """
+    node(1). node(2). node(3). edge(1,2). edge(2,3).
+    reach(X) :- node(X), edge(1,X).
+    reach(Y) :- reach(X), edge(X,Y).
+    isolated(X) :- node(X), not reach(X), X != 1.
+    """,
+    # comparison that only becomes ground after the second literal binds
+    """
+    v("1.0"). v("2.0"). w("2.0"). w("3.0").
+    both(X) :- v(X), w(X).
+    pair(X,Y) :- v(X), w(Y), X < Y.
+    """,
+    # choice rule feeding a constraint and a minimize statement
+    """
+    item(1). item(2). item(3).
+    { pick(X) : item(X) }.
+    :- pick(1), pick(2).
+    cost(X,X) :- pick(X).
+    #minimize { C@1,X : cost(X,C) }.
+    """,
+    # conditional literals in a rule body
+    """
+    p(1). p(2). ok(1). ok(2).
+    all_ok :- ok(X) : p(X).
+    q :- all_ok.
+    """,
+    # arithmetic inside comparisons over joined bindings
+    """
+    n(1). n(2). n(3). n(4).
+    pair(X,Y) :- n(X), n(Y), X * 2 > Y, X < Y.
+    near(X) :- n(X), n(Y), Y > X + 1.
+    """,
+)
+
+
+def ground_signature(text: str, strategy: str):
+    """Everything observable about a grounding, as strategy-independent
+    strings."""
+    prepared = PreparedProgram(text, join_strategy=strategy)
+    program = prepared._base.ground()
+    return {
+        "certain": sorted(program.format_atom(atom) for atom in program.facts),
+        "possible": sorted(
+            program.format_atom(atom) for atom in range(1, program.num_atoms + 1)
+        ),
+        "rules": program.num_rules,
+        "choices": len(program.choices),
+        "constraints": len(program.constraints),
+        "minimize": len(program.minimize_literals),
+    }
+
+
+def solve_signature(text: str, strategy: str):
+    result = PreparedProgram(text, join_strategy=strategy).fork().solve()
+    if result.model is None:
+        return None
+    return sorted(map(str, result.model.atoms()))
+
+
+def session_signatures(repo, batch, **kwargs):
+    clear_shared_bases()
+    session = ConcretizationSession(repo=repo, share_ground_cache=False, **kwargs)
+    results = session.solve(batch)
+    return [
+        (
+            str(r.spec),
+            sorted(str(s) for s in r.specs.values()),
+            {level: cost for level, cost in r.costs.items() if cost},
+        )
+        for r in results
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Raw-program oracle
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("index", range(len(TRICKY_PROGRAMS)))
+def test_grounding_identical_on_tricky_programs(index):
+    text = TRICKY_PROGRAMS[index]
+    assert ground_signature(text, "indexed") == ground_signature(text, "naive")
+
+
+@pytest.mark.parametrize("index", range(len(TRICKY_PROGRAMS)))
+def test_solving_identical_on_tricky_programs(index):
+    text = TRICKY_PROGRAMS[index]
+    assert solve_signature(text, "indexed") == solve_signature(text, "naive")
+
+
+def test_delta_grounding_identical():
+    base = "p(1). p(2). r(X) :- p(X), extra(X)."
+    signatures = {}
+    for strategy in ("indexed", "naive"):
+        prepared = PreparedProgram(base, join_strategy=strategy)
+        control = prepared.fork(extra_facts=[("extra", 2)])
+        result = control.solve()
+        signatures[strategy] = sorted(map(str, result.model.atoms()))
+    assert signatures["indexed"] == signatures["naive"]
+    assert "('r', 2)" in signatures["indexed"]
+
+
+def test_unknown_strategy_rejected_eagerly():
+    with pytest.raises(ValueError, match="join strategy"):
+        grounder_class("columnar")
+    with pytest.raises(ValueError, match="join strategy"):
+        ConcretizationSession(repo=micro_flat(), join_strategy="columnar")
+
+
+# ---------------------------------------------------------------------------
+# Session-level oracle: monolithic and sharded, cold and warm
+# ---------------------------------------------------------------------------
+
+
+def test_sessions_identical_monolithic():
+    repo = micro_flat()
+    indexed = session_signatures(repo, BATCH, join_strategy="indexed")
+    naive = session_signatures(micro_flat(), BATCH, join_strategy="naive")
+    assert indexed == naive
+
+
+def test_sessions_identical_sharded():
+    indexed = session_signatures(micro_sharded(), BATCH, join_strategy="indexed")
+    naive = session_signatures(micro_sharded(), BATCH, join_strategy="naive")
+    assert indexed == naive
+    # and sharded == monolithic under the indexed grounder
+    assert indexed == session_signatures(micro_flat(), BATCH, join_strategy="indexed")
+
+
+def test_warm_replay_identical_across_strategies(tmp_path):
+    """Cold solve, then a fresh session over the warm disk cache, for both
+    strategies: all four runs element-wise identical."""
+    runs = {}
+    for strategy in ("indexed", "naive"):
+        cache_dir = tmp_path / strategy
+        cold = session_signatures(
+            micro_flat(), BATCH, join_strategy=strategy, cache_dir=str(cache_dir)
+        )
+        warm = session_signatures(
+            micro_flat(), BATCH, join_strategy=strategy, cache_dir=str(cache_dir)
+        )
+        runs[strategy] = (cold, warm)
+        assert cold == warm
+    assert runs["indexed"][0] == runs["naive"][0]
+
+
+def test_strategies_never_share_a_cached_base(tmp_path):
+    """A naive session over a ground cache warmed by an indexed session must
+    not replay the indexed grounder's pickled base (the cache key embeds the
+    strategy), while a second indexed session does replay it from disk.
+    Specs differ per run so the strategy-independent *solve* cache (shared
+    by design — results are identical) cannot short-circuit grounding."""
+    cache_dir = str(tmp_path / "shared")
+
+    def run(strategy, specs):
+        clear_shared_bases()
+        session = ConcretizationSession(
+            repo=micro_flat(),
+            share_ground_cache=False,
+            cache_dir=cache_dir,
+            join_strategy=strategy,
+        )
+        session.solve(specs)
+        return session.statistics()
+
+    cold = run("indexed", BATCH[:1])
+    assert (cold["base_groundings"], cold["base_disk_hits"]) == (1, 0)
+
+    replay = run("indexed", BATCH[1:2])
+    assert (replay["base_groundings"], replay["base_disk_hits"]) == (0, 1)
+
+    crossed = run("naive", BATCH[2:3])
+    assert crossed["join_strategy"] == "naive"
+    assert (crossed["base_groundings"], crossed["base_disk_hits"]) == (1, 0)

@@ -1,0 +1,223 @@
+"""The racing solver portfolio: identical answers, only sooner.
+
+First-answer-wins is only sound if the answer cannot depend on who wins.
+These tests pin that determinism contract (ISSUE 8 tentpole, part 4):
+
+* a portfolio session is element-wise identical to a plain sequential
+  session — concrete specs, per-criterion costs, and unsat minimal cores;
+* every degradation path (single preset, racing unavailable, child spawn
+  failure) still returns the sequential answer;
+* preset plumbing: ``resolve_presets`` coercions, the shared
+  :class:`SolverPreset` validation, and per-request presets that bypass
+  the race while reusing the shared solve cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asp.configs import PORTFOLIO_PRESETS, SolverConfig, SolverPreset
+from repro.asp.control import PreparedProgram
+from repro.asp.portfolio import PortfolioSolver, resolve_presets
+from repro.asp.stats import ASPStats
+from repro.spack.concretize import ConcretizationSession
+from repro.spack.concretize.session import clear_shared_bases
+from repro.spack.errors import UnsatisfiableSpecError
+
+BATCH = ["example", "example+bzip", "example@1.0.0", "minitool"]
+
+
+def signature(result):
+    return (
+        str(result.spec),
+        sorted(str(s) for s in result.specs.values()),
+        {level: cost for level, cost in result.costs.items() if cost},
+    )
+
+
+def fresh_session(micro_repo, **kwargs):
+    clear_shared_bases()
+    return ConcretizationSession(
+        repo=micro_repo, share_ground_cache=False, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# Preset plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_presets_coercions():
+    assert resolve_presets(False) == ()
+    assert resolve_presets(None) == ()
+    assert resolve_presets(()) == ()
+    assert resolve_presets(True) == PORTFOLIO_PRESETS
+    assert resolve_presets(2) == PORTFOLIO_PRESETS[:2]
+    assert resolve_presets(99) == PORTFOLIO_PRESETS
+    named = resolve_presets(["vsids-luby", "fixed-geometric"])
+    assert [p.name for p in named] == ["vsids-luby", "fixed-geometric"]
+
+
+def test_from_value_accepts_portfolio_and_config_names():
+    assert SolverPreset.from_value("fixed-luby").heuristic == "fixed"
+    tweety = SolverPreset.from_value("tweety")
+    assert tweety == SolverPreset.from_config(SolverConfig.preset("tweety"))
+    knobs = SolverPreset.from_value({"heuristic": "fixed", "restart_base": 7})
+    assert (knobs.heuristic, knobs.restart_base) == ("fixed", 7)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "no-such-preset",
+        {"heuristic": "astrology"},
+        {"unknown_knob": 1},
+        {"restart_base": 0},
+        {"var_decay": 2.0},
+        42.5,
+    ],
+)
+def test_from_value_rejects_invalid(bad):
+    with pytest.raises(ValueError):
+        SolverPreset.from_value(bad)
+
+
+# ---------------------------------------------------------------------------
+# The race itself, on a bare prepared program
+# ---------------------------------------------------------------------------
+
+RACE_PROGRAM = """
+item(1). item(2). item(3). item(4).
+{ pick(X) : item(X) }.
+:- pick(1), pick(2).
+cost(X,X) :- pick(X).
+picked(X) :- pick(X).
+#minimize { C@1,X : cost(X,C) }.
+"""
+
+
+def model_atoms(result):
+    return sorted(map(str, result.model.atoms()))
+
+
+def test_race_matches_sequential_solve():
+    prepared = PreparedProgram(RACE_PROGRAM)
+    sequential = prepared.fork().solve()
+    stats = ASPStats()
+    raced = PortfolioSolver(stats=stats).solve(prepared.fork())
+    assert model_atoms(raced) == model_atoms(sequential)
+    if stats.counters.get("portfolio.races"):
+        assert sum(
+            count
+            for name, count in stats.counters.items()
+            if name.startswith("portfolio.wins.")
+        ) == stats.counters["portfolio.races"]
+
+
+def test_single_preset_never_races():
+    solver = PortfolioSolver([PORTFOLIO_PRESETS[0]])
+    assert not solver.available()
+    result = solver.solve(PreparedProgram(RACE_PROGRAM).fork())
+    assert model_atoms(result) == model_atoms(
+        PreparedProgram(RACE_PROGRAM).fork().solve()
+    )
+
+
+def test_unavailable_race_falls_back_sequentially(monkeypatch):
+    stats = ASPStats()
+    solver = PortfolioSolver(stats=stats)
+    monkeypatch.setattr(solver, "available", lambda: False)
+    result = solver.solve(PreparedProgram(RACE_PROGRAM).fork())
+    assert model_atoms(result) == model_atoms(
+        PreparedProgram(RACE_PROGRAM).fork().solve()
+    )
+    assert stats.counters["portfolio.sequential_fallbacks"] == 1
+
+
+def test_spawn_failure_falls_back_sequentially(monkeypatch):
+    import multiprocessing
+
+    class ExplodingContext:
+        Queue = staticmethod(multiprocessing.get_context("fork").Queue)
+
+        @staticmethod
+        def Process(*args, **kwargs):
+            raise OSError("no more processes")
+
+    stats = ASPStats()
+    solver = PortfolioSolver(stats=stats)
+    monkeypatch.setattr(
+        "repro.asp.portfolio.multiprocessing.get_context",
+        lambda method: ExplodingContext,
+    )
+    result = solver.solve(PreparedProgram(RACE_PROGRAM).fork())
+    assert model_atoms(result) == model_atoms(
+        PreparedProgram(RACE_PROGRAM).fork().solve()
+    )
+    assert stats.counters["portfolio.sequential_fallbacks"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Session-level determinism oracle
+# ---------------------------------------------------------------------------
+
+
+def test_portfolio_session_identical_to_sequential(micro_repo):
+    plain = [signature(r) for r in fresh_session(micro_repo).solve(BATCH)]
+    raced = [
+        signature(r)
+        for r in fresh_session(micro_repo, portfolio=True).solve(BATCH)
+    ]
+    assert raced == plain
+
+
+def test_portfolio_unsat_core_identical(micro_repo):
+    def core(session):
+        with pytest.raises(UnsatisfiableSpecError) as excinfo:
+            session.concretize("example%intel")
+        return excinfo.value.core()
+
+    plain = core(fresh_session(micro_repo))
+    raced = core(fresh_session(micro_repo, portfolio=True))
+    assert raced == plain
+    assert raced  # the conflict is explained, not just reported
+
+
+def test_portfolio_statistics_exposed(micro_repo):
+    session = fresh_session(micro_repo, portfolio=2)
+    session.solve(BATCH[:2])
+    stats = session.statistics()
+    lineup = stats["portfolio"]
+    assert [entry["name"] for entry in lineup] == [
+        p.name for p in PORTFOLIO_PRESETS[:2]
+    ]
+
+
+def test_per_request_preset_bypasses_the_race(micro_repo):
+    session = fresh_session(micro_repo, portfolio=True)
+    baseline = [signature(r) for r in session.solve(BATCH)]
+    for preset in ("fixed-geometric", "tweety"):
+        pinned = [signature(r) for r in session.solve(BATCH, preset=preset)]
+        assert pinned == baseline
+
+
+def test_per_request_preset_without_portfolio(micro_repo):
+    session = fresh_session(micro_repo)
+    baseline = [signature(r) for r in session.solve(BATCH[:2])]
+    pinned = [
+        signature(r) for r in session.solve(BATCH[:2], preset="vsids-geometric")
+    ]
+    assert pinned == baseline
+
+
+def test_invalid_request_preset_rejected(micro_repo):
+    session = fresh_session(micro_repo)
+    with pytest.raises(ValueError):
+        session.solve(BATCH[:1], preset="astrology")
+    with pytest.raises(ValueError):
+        session.concretize(BATCH[0], preset={"heuristic": "astrology"})
+
+
+def test_invalid_portfolio_config_rejected(micro_repo):
+    with pytest.raises(ValueError):
+        fresh_session(micro_repo, portfolio=["vsids-luby", "astrology"])

@@ -50,6 +50,14 @@ STDLIB_ALLOWLIST = {
     "Path",
 }
 
+#: Environment variables the docs may reference. They look like constants
+#: but are read via ``os.environ``, so the assignment check cannot see them.
+ENV_ALLOWLIST = {
+    "BENCH_NOISE_BAND",
+    "BENCH_TREND_NUMBER",
+    "PYTHONPATH",
+}
+
 
 def load_sources() -> str:
     """All Python source under src/, concatenated (grep corpus)."""
@@ -96,6 +104,8 @@ def check_reference(token: str, corpus: str):
                 return f"symbol {symbol!r} not found in src/"
         return None
     if CONSTANT.match(token):
+        if token in ENV_ALLOWLIST:
+            return None
         if not re.search(rf"^\s*{re.escape(token)}\s*[:=]", corpus, re.MULTILINE):
             return f"no assignment to {token} in src/"
         return None
