@@ -49,6 +49,7 @@ QUICK_BENCHMARKS = (
     "bench_service.py",
     "bench_unsat.py",
     "bench_profile.py",
+    "bench_snapshot.py",
 )
 
 #: Schema version of the aggregate trend file.  Bump on layout changes so

@@ -4,12 +4,13 @@
 This mirrors :mod:`examples.batch_session`, scaled up along the two axes
 ISSUE 2 added (see ``docs/ARCHITECTURE.md`` and ``docs/CACHING.md``):
 
-1. a **parallel session** (``workers=N``) grounds the shared
-   spec-independent base once, then fans each spec's delta-ground + solve
-   out to a pool of forked workers — results come back in input order,
-   element-wise identical to a sequential session;
-2. a **persistent cache** (``cache_dir=...``) writes every solved result
-   (and the grounded base) to disk, so a *second session* — even in a new
+1. a **parallel session** (``SessionConfig(workers=N)``) grounds the
+   shared spec-independent base once, then fans each spec's delta-ground +
+   solve out to a pool of forked workers — results come back in input
+   order, element-wise identical to a sequential session;
+2. a **persistent cache** (``SessionConfig(cache_dir=...)``) writes every
+   solved result (and the grounded base, as both a pickle and an
+   mmap-able snapshot) to disk, so a *second session* — even in a new
    process, hours later — replays the whole batch without a single
    grounding or solver call.
 
@@ -20,7 +21,7 @@ Run with::
 
 import tempfile
 
-from repro.spack.concretize import ConcretizationSession
+from repro.spack.concretize import ConcretizationSession, SessionConfig
 
 #: Overlapping requests, the build-cache-population shape: same roots, many
 #: versions/variants, one exact repeat.  All of them share one grounded base.
@@ -42,7 +43,8 @@ def main():
         # two forked processes; the shared base is grounded once, up front,
         # in the parent, so workers inherit it and only delta-ground.
         # ------------------------------------------------------------------
-        session = ConcretizationSession(workers=2, cache_dir=cache_dir)
+        config = SessionConfig(workers=2, cache_dir=cache_dir)
+        session = ConcretizationSession(session_config=config)
         print(f"content hash: {session.content_hash()}")
         print(f"cache dir:    {cache_dir}\n")
 
@@ -63,7 +65,7 @@ def main():
         # from disk: zero base groundings, zero delta groundings, zero
         # solver calls.
         # ------------------------------------------------------------------
-        warm = ConcretizationSession(cache_dir=cache_dir)
+        warm = ConcretizationSession(session_config=SessionConfig(cache_dir=cache_dir))
         warm_results = warm.solve(REQUESTS)
         assert [str(r.spec) for r in warm_results] == [str(r.spec) for r in results]
 

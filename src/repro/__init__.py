@@ -21,10 +21,12 @@ from repro.spack.concretize import (
     ConcretizationResult,
     ConcretizationSession,
     Concretizer,
+    SessionConfig,
+    explain_unsat,
 )
 from repro.spack.store import Database, SolveCache
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AsyncConcretizationSession",
@@ -34,8 +36,10 @@ __all__ = [
     "Control",
     "Database",
     "PreparedProgram",
+    "SessionConfig",
     "SolveCache",
     "SolveResult",
     "SolverConfig",
+    "explain_unsat",
     "__version__",
 ]

@@ -304,6 +304,10 @@ class PreparedProgram:
         self.join_strategy = join_strategy
         self.stats = stats
         self.timer = PhaseTimer()
+        #: source text kept for flat snapshots (repro.asp.snapshot): an
+        #: attaching process reparses it via the per-process parse memo
+        #: instead of pickling the AST.
+        self.text = text
         with self.timer.phase("load"):
             self.program = parse_program_cached(text)
         atoms = [ground_atom(*fact) for fact in base_facts]
@@ -358,6 +362,7 @@ class PreparedProgram:
         layered.join_strategy = self.join_strategy
         layered.stats = self.stats
         layered.timer = PhaseTimer()
+        layered.text = self.text
         layered.program = self.program
         atoms = [ground_atom(*fact) for fact in extra_facts]
         hints = [ground_atom(*hint) for hint in possible_hints]

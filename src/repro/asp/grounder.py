@@ -1702,6 +1702,21 @@ class Grounder:
 
     # -- registry / pickling -------------------------------------------------
 
+    def restore_setup(self) -> None:
+        """Rebuild the stratified component plan from the program AST.
+
+        A grounder whose ground state was restored from a flat snapshot
+        (:mod:`repro.asp.snapshot`) is complete — atoms, relations, rules,
+        registries — but :meth:`ground_delta` also needs ``_components`` /
+        ``_constraints``, and would fall back to a *full* re-ground if they
+        were still ``None``.  Stratification depends only on the (already
+        safety-checked) program, so recomputing it here costs microseconds
+        and never touches ground state.
+        """
+        _facts, rules, constraints = self._split_statements()
+        self._components = self._stratify(rules)
+        self._constraints = constraints
+
     def _rule_position(self, rule: Rule) -> int:
         """A pickle-stable identity for ``rule`` (its index in the program).
 

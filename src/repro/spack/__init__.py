@@ -15,18 +15,49 @@ This subpackage models the parts of Spack the paper's concretizer needs:
   expansion;
 * :mod:`repro.spack.store` — the installed-package database / buildcache;
 * :mod:`repro.spack.concretize` — the ASP-based concretizer (the paper's
-  contribution) and the original greedy concretizer (the baseline).
+  contribution) and the original greedy concretizer (the baseline);
+* :mod:`repro.spack.service` — the HTTP concretization service.
+
+The names re-exported here (and listed in ``__all__``) are the supported
+public surface: the spec/version model, the sessions and their
+:class:`~repro.spack.concretize.config.SessionConfig`, the service, the
+error hierarchy, and :func:`~repro.spack.concretize.explain.explain_unsat`.
+``tools/check_docs.py`` holds the README and docs to this surface.
 """
 
+from repro.spack.concretize import (
+    AsyncConcretizationSession,
+    ConcretizationResult,
+    ConcretizationSession,
+    ParallelConcretizationSession,
+    SessionConfig,
+    explain_unsat,
+)
+from repro.spack.errors import (
+    SpackError,
+    SpecSyntaxError,
+    UnknownPackageError,
+    UnsatisfiableSpecError,
+)
 from repro.spack.spec import Spec
 from repro.spack.spec_parser import parse_spec
 from repro.spack.version import Version, VersionList, VersionRange, ver
 
 __all__ = [
+    "AsyncConcretizationSession",
+    "ConcretizationResult",
+    "ConcretizationSession",
+    "ParallelConcretizationSession",
+    "SessionConfig",
+    "SpackError",
     "Spec",
+    "SpecSyntaxError",
+    "UnknownPackageError",
+    "UnsatisfiableSpecError",
     "Version",
     "VersionList",
     "VersionRange",
+    "explain_unsat",
     "parse_spec",
     "ver",
 ]

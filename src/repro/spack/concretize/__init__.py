@@ -11,22 +11,30 @@ original greedy baseline.
   usability comparisons of Section VI-B.
 * :class:`repro.spack.concretize.session.ConcretizationSession` — batch
   concretization: many root specs against one shared, incrementally layered
-  grounding, with content-hash-keyed ground and solve caches.  With
-  ``workers=N`` (or via
-  :class:`repro.spack.concretize.session.ParallelConcretizationSession`) the
-  per-spec solves fan out to a worker pool over the shared base, and with
-  ``cache_dir=...`` the ground/solve caches persist on disk across
-  processes (see ``docs/ARCHITECTURE.md`` and ``docs/CACHING.md``).
+  grounding, with content-hash-keyed ground and solve caches.  All tuning
+  rides in one frozen :class:`repro.spack.concretize.config.SessionConfig`:
+  ``SessionConfig(workers=N)`` (or
+  :class:`repro.spack.concretize.session.ParallelConcretizationSession`)
+  fans per-spec solves out to a worker pool over the shared base, and
+  ``SessionConfig(cache_dir=...)`` persists the ground/solve caches — plus
+  mmap-able ground *snapshots* that a second process attaches near
+  zero-copy — on disk across processes (see ``docs/ARCHITECTURE.md`` and
+  ``docs/CACHING.md``).
 * :class:`repro.spack.concretize.async_session.AsyncConcretizationSession` —
   the ``asyncio`` front-end over the same machinery: ``await
   session.concretize(spec)``, ``concretize_batch()``, and an
   ``as_completed()`` streaming API that yields results in completion order
   with bounded concurrency and clean cancellation.
+* :func:`repro.spack.concretize.explain.explain_unsat` — the minimal
+  conflict core behind every
+  :class:`~repro.spack.errors.UnsatisfiableSpecError`.
 """
 
 from repro.spack.concretize.async_session import AsyncConcretizationSession
 from repro.spack.concretize.concretizer import ConcretizationResult, Concretizer
+from repro.spack.concretize.config import SessionConfig
 from repro.spack.concretize.criteria import CRITERIA, Criterion, describe_costs
+from repro.spack.concretize.explain import ConstraintProvenance, explain_unsat
 from repro.spack.concretize.original import OriginalConcretizer
 from repro.spack.concretize.session import (
     ConcretizationSession,
@@ -42,11 +50,14 @@ __all__ = [
     "ConcretizationResult",
     "ConcretizationSession",
     "Concretizer",
+    "ConstraintProvenance",
     "Criterion",
     "OriginalConcretizer",
     "ParallelConcretizationSession",
+    "SessionConfig",
     "SessionStatistics",
     "compute_content_hash",
     "default_worker_count",
     "describe_costs",
+    "explain_unsat",
 ]

@@ -71,14 +71,17 @@ class AsyncConcretizationSession:
     """An ``asyncio`` front-end over a :class:`ConcretizationSession`.
 
     Construct it either around an existing session (``AsyncConcretizationSession(
-    session=sync_session)``) or with the same keyword arguments as
-    :class:`ConcretizationSession` (they are forwarded verbatim).  Additional
-    knobs:
+    session=sync_session)``) or with the same arguments as
+    :class:`ConcretizationSession` (they are forwarded verbatim — including
+    ``session_config=``, a
+    :class:`~repro.spack.concretize.config.SessionConfig`, and the
+    deprecated per-knob keywords it replaces).  Additional knobs:
 
     * ``max_concurrency`` — the semaphore bound on simultaneously leased
       workers across *all* concurrent calls on this session.  Defaults to
-      the wrapped session's ``workers`` when that is > 1, else the
-      scheduler-visible CPU count (:func:`default_worker_count`).
+      ``session_config.max_concurrency`` when set, else the wrapped
+      session's ``workers`` when that is > 1, else the scheduler-visible
+      CPU count (:func:`default_worker_count`).
 
     Use it as an async context manager (``async with``) or call
     :meth:`aclose` when done to release the fallback thread pool.
@@ -97,6 +100,8 @@ class AsyncConcretizationSession:
                 "arguments, not both"
             )
         self.session = session if session is not None else ConcretizationSession(*args, **kwargs)
+        if max_concurrency is None:
+            max_concurrency = self.session.session_config.max_concurrency
         if max_concurrency is None:
             max_concurrency = (
                 self.session.workers

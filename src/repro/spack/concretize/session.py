@@ -39,14 +39,24 @@ Two orthogonal extensions scale sessions beyond one process (see
   without ``fork``.  Results keep the input order and are element-wise
   identical to a sequential :meth:`ConcretizationSession.solve`;
 
-* **persistence** — ``ConcretizationSession(cache_dir=...)`` swaps the
+* **persistence** — ``SessionConfig(cache_dir=...)`` swaps the
   private in-memory :class:`~repro.spack.store.SolveCache` for a
   :class:`~repro.spack.store.PersistentSolveCache` and adds a
-  :class:`~repro.spack.store.PersistentGroundCache` under ``_base_for``, so
-  a second process pointed at the same directory replays a warm batch with
-  zero grounding and zero solver calls.  Both layers are keyed by the same
-  content hashes as the in-memory caches, so repo/preset/store changes
-  invalidate disk entries exactly like memory ones.
+  :class:`~repro.spack.store.PersistentGroundCache` plus a flat mmap-able
+  :class:`~repro.spack.store.SnapshotStore` under ``_base_for``, so a
+  second process pointed at the same directory replays a warm batch with
+  zero grounding and zero solver calls — attaching the shared ground
+  snapshot near-zero-copy instead of unpickling an object graph where
+  possible.  All layers are keyed by the same content hashes as the
+  in-memory caches, so repo/preset/store changes invalidate disk entries
+  exactly like memory ones.
+
+Every execution knob (workers, backends, cache directories and budgets,
+join strategy, profiling, portfolio, snapshots) lives on one frozen
+:class:`~repro.spack.concretize.config.SessionConfig` accepted by all
+front-ends via ``session_config=``; the historical per-knob keyword
+arguments still work and emit a :class:`DeprecationWarning` naming their
+replacement.
 
 For *serving* concretizations instead of batching them, the
 :class:`~repro.spack.concretize.async_session.AsyncConcretizationSession`
@@ -70,6 +80,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.asp.configs import SolverConfig, SolverPreset
 from repro.asp.control import PreparedProgram, grounder_class
 from repro.asp.portfolio import PortfolioSolver, resolve_presets
+from repro.asp.snapshot import SnapshotError
 from repro.asp.stats import ASPStats, Timer
 from repro.spack.architecture import Platform, default_platform
 from repro.spack.compilers import CompilerRegistry
@@ -78,6 +89,7 @@ from repro.spack.concretize.concretizer import (
     UnsatOutcome,
     result_from_solve,
 )
+from repro.spack.concretize.config import SessionConfig, resolve_session_config
 from repro.spack.concretize.explain import explain_unsat
 from repro.spack.concretize.criteria import (
     BUILD_PRIORITY_OFFSET,
@@ -93,6 +105,7 @@ from repro.spack.spec_parser import parse_spec
 from repro.spack.store import (
     PersistentGroundCache,
     PersistentSolveCache,
+    SnapshotStore,
     SolveCache,
 )
 
@@ -249,6 +262,8 @@ class _GroundedBase:
         self.layers_grounded = 0
         self.layers_replayed_memory = 0
         self.layers_replayed_disk = 0
+        #: True when the grounding came from an mmap-attached snapshot
+        self.snapshot_attached = False
         if isinstance(session.repo, ShardedRepository):
             self._build_layered(session, abstract)
         else:
@@ -321,6 +336,40 @@ class _GroundedBase:
             session._persist_layer(keys[index], prepared)
         self.prepared = prepared
 
+    @classmethod
+    def from_snapshot(
+        cls,
+        session: "ConcretizationSession",
+        abstract: Sequence[Spec],
+        prepared: PreparedProgram,
+    ) -> "_GroundedBase":
+        """A base whose *grounding* was attached from a flat mmap snapshot.
+
+        Only the ground state comes from disk (see
+        :mod:`repro.asp.snapshot`); the encoder re-runs over the repository
+        with a discarding sink to rebuild its provenance log, condition-id
+        sequence, and possible-package set — fact generation is cheap and
+        deterministic, the same trade the layered path makes on every warm
+        replay.  No grounder runs at all, so the session's
+        ``base_groundings`` counter stays at zero on this path.
+        """
+        base = cls.__new__(cls)
+        base.encoder = ProblemEncoder(
+            session.repo,
+            platform=session.platform,
+            compilers=session.compilers,
+            store=session.store,
+            reuse=session.reuse,
+        )
+        base.layers_total = 0
+        base.layers_grounded = 0
+        base.layers_replayed_memory = 0
+        base.layers_replayed_disk = 0
+        base.snapshot_attached = True
+        base.encoder.encode_base(abstract, sink=_discard_fact)
+        base.prepared = prepared
+        return base
+
     def statistics(self) -> Dict[str, object]:
         stats = self.prepared.statistics()
         if self.layers_total:
@@ -330,7 +379,13 @@ class _GroundedBase:
                 "replayed_memory": self.layers_replayed_memory,
                 "replayed_disk": self.layers_replayed_disk,
             }
+        if self.snapshot_attached:
+            stats["snapshot_attached"] = True
         return stats
+
+
+def _discard_fact(fact) -> None:
+    """Null encoder sink for snapshot-attached bases (grounding is on disk)."""
 
 
 #: Process-wide memo of grounded bases, keyed by
@@ -406,6 +461,11 @@ class SessionStatistics:
     base_cache_hits: int = 0
     #: how many grounded bases were loaded from the on-disk ground cache
     base_disk_hits: int = 0
+    #: disk loads (monolithic bases or shard-layer prefixes) that *attached*
+    #: a flat mmap snapshot instead of unpickling an object graph
+    snapshot_attaches: int = 0
+    #: flat snapshots this session wrote through to disk
+    snapshot_writes: int = 0
     #: sharded repositories: shard/context layers this session delta-ground
     shard_layers_grounded: int = 0
     #: sharded repositories: layers replayed from the in-memory prefix memo
@@ -427,6 +487,8 @@ class SessionStatistics:
             "base_groundings": self.base_groundings,
             "base_cache_hits": self.base_cache_hits,
             "base_disk_hits": self.base_disk_hits,
+            "snapshot_attaches": self.snapshot_attaches,
+            "snapshot_writes": self.snapshot_writes,
             "shard_layers_grounded": self.shard_layers_grounded,
             "shard_layers_replayed": self.shard_layers_replayed,
             "shard_layers_disk": self.shard_layers_disk,
@@ -447,49 +509,28 @@ class ConcretizationSession:
     spec — just without re-lexing, re-grounding, and re-solving the shared
     portion of the problem every time.
 
-    Parameters mirror :class:`Concretizer`, plus:
+    Execution knobs live on one frozen
+    :class:`~repro.spack.concretize.config.SessionConfig` passed as
+    ``session_config=`` — parallelism (``workers``, ``worker_backend``),
+    persistence (``cache_dir``, ``persist_ground``, ``snapshots``,
+    ``cache_max_entries`` / ``cache_max_bytes``, ``share_ground_cache``),
+    and solver behaviour (``join_strategy``, ``profile``, ``portfolio``);
+    see :class:`SessionConfig` for per-knob semantics.  The historical
+    per-knob keyword arguments are still accepted (each maps 1:1 onto a
+    config field, overrides it, and emits a :class:`DeprecationWarning`).
+    Problem inputs stay explicit parameters, mirroring
+    :class:`Concretizer`, plus:
 
     * ``solve_cache`` — a :class:`repro.spack.store.SolveCache` to share
       across sessions (defaults to a private one, or to a
-      :class:`repro.spack.store.PersistentSolveCache` when ``cache_dir`` is
-      given);
-    * ``share_ground_cache`` — set False to opt out of the process-wide
-      grounded-base memo (each session then grounds its own base once);
-    * ``cache_dir`` — a directory for the persistent cache layers.  Solved
-      results are written through as versioned JSON and grounded bases as
-      versioned pickles, so later *processes* warm-start from disk.  Omit it
-      (the default) for purely in-memory operation; see ``docs/CACHING.md``;
-    * ``persist_ground`` — set False to keep the solve cache on disk but
-      skip persisting grounded bases (they are large);
-    * ``cache_max_entries`` / ``cache_max_bytes`` — optional disk budgets
-      for the persistent layers (applied to each of the solve and ground
-      stores): on every write the least-recently-used entries beyond the
-      budget are pruned, so long-lived cache directories stop growing
-      without bound (see ``docs/CACHING.md``);
-    * ``workers`` — number of solver workers for :meth:`solve`.  1 (the
-      default) solves sequentially; ``N > 1`` fans cache-missing specs out
-      to a pool after grounding the shared base; ``"auto"`` uses the
-      scheduler-visible CPU count (:func:`default_worker_count`);
-    * ``worker_backend`` — ``"process"`` (fork-based, true parallelism),
-      ``"thread"``, or ``"auto"`` (processes wherever ``fork`` exists).
-      Any pool failure degrades to in-process sequential solving;
-    * ``join_strategy`` — ``"indexed"`` (default; the interned, index-join
-      grounder) or ``"naive"`` (the reference tuple-at-a-time grounder in
-      :mod:`repro.asp.naive`).  Both derive identical ground programs; the
-      knob exists for oracle tests and benchmarking.  The strategy is part
-      of every ground-cache key, so strategies never share pickled bases;
-    * ``profile`` — opt-in hot-path instrumentation: ``True`` collects
-      per-stage grounding/solving timers (an :class:`repro.asp.stats.ASPStats`),
-      ``"rules"`` additionally times each rule; exposed via
-      :meth:`statistics` under ``"asp"`` (and ``/v1/stats`` in the service);
-    * ``portfolio`` — race CDCL presets per solve (first answer wins):
-      ``True`` races the default 2×2 preset lineup
-      (:data:`repro.asp.configs.PORTFOLIO_PRESETS`), an int ``n`` the first
-      ``n`` presets, a sequence custom
-      :class:`~repro.asp.configs.SolverPreset` values (or preset names /
-      dicts).  Results are element-wise identical to sequential solves
-      (deterministic extraction; see :mod:`repro.asp.portfolio`); pool
-      workers never nest a race.
+      :class:`repro.spack.store.PersistentSolveCache` when
+      ``session_config.cache_dir`` is given).
+
+    With a ``cache_dir``, solved results are written through as versioned
+    JSON, grounded bases as versioned pickles, and (for the indexed
+    grounder) additionally as flat mmap-able ground snapshots
+    (:class:`repro.spack.store.SnapshotStore`) that later *processes*
+    attach near-zero-copy instead of unpickling; see ``docs/CACHING.md``.
     """
 
     def __init__(
@@ -501,57 +542,62 @@ class ConcretizationSession:
         reuse: bool = False,
         config: Optional[SolverConfig] = None,
         solve_cache: Optional[SolveCache] = None,
-        share_ground_cache: bool = True,
-        cache_dir: Optional[str] = None,
-        persist_ground: bool = True,
-        cache_max_entries: Optional[int] = None,
-        cache_max_bytes: Optional[int] = None,
-        workers: Union[int, str] = 1,
-        worker_backend: str = "auto",
-        join_strategy: str = "indexed",
-        profile: Union[bool, str] = False,
-        portfolio: Union[bool, int, Sequence] = False,
+        session_config: Optional[SessionConfig] = None,
+        **legacy,
     ):
+        cfg = resolve_session_config(
+            session_config, legacy, "ConcretizationSession"
+        )
+        self.session_config = cfg
         self.repo = repo or builtin_repository()
         self.platform = platform or default_platform()
         self.compilers = compilers or CompilerRegistry()
         self.store = store
         self.reuse = reuse
         self.config = config or SolverConfig.preset("tweety")
+        cache_dir = cfg.cache_dir
         self.cache_dir = cache_dir
         if solve_cache is not None:
             self.solve_cache = solve_cache
         elif cache_dir is not None:
             self.solve_cache = PersistentSolveCache(
                 cache_dir,
-                max_disk_entries=cache_max_entries,
-                max_disk_bytes=cache_max_bytes,
+                max_disk_entries=cfg.cache_max_entries,
+                max_disk_bytes=cfg.cache_max_bytes,
             )
         else:
             self.solve_cache = SolveCache()
+        persist = cache_dir is not None and cfg.persist_ground
         self.ground_cache: Optional[PersistentGroundCache] = (
             PersistentGroundCache(
                 cache_dir,
-                max_entries=cache_max_entries,
-                max_bytes=cache_max_bytes,
+                max_entries=cfg.cache_max_entries,
+                max_bytes=cfg.cache_max_bytes,
             )
-            if cache_dir is not None and persist_ground
+            if persist
             else None
         )
-        self.share_ground_cache = share_ground_cache
-        self.workers = default_worker_count() if workers == "auto" else int(workers)
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers!r}")
-        if worker_backend not in ("auto", "process", "thread"):
-            raise ValueError(f"unknown worker backend: {worker_backend!r}")
-        self.worker_backend = worker_backend
-        grounder_class(join_strategy)  # validate eagerly (raises ValueError)
-        self.join_strategy = join_strategy
-        self.profile = profile
-        self.asp_stats: Optional[ASPStats] = (
-            ASPStats(per_rule=(profile == "rules")) if profile else None
+        self.snapshot_store: Optional[SnapshotStore] = (
+            SnapshotStore(
+                cache_dir,
+                max_entries=cfg.cache_max_entries,
+                max_bytes=cfg.cache_max_bytes,
+            )
+            if persist and cfg.snapshots
+            else None
         )
-        presets = resolve_presets(portfolio)
+        self.share_ground_cache = cfg.share_ground_cache
+        self.workers = (
+            default_worker_count() if cfg.workers == "auto" else int(cfg.workers)
+        )
+        self.worker_backend = cfg.worker_backend
+        grounder_class(cfg.join_strategy)  # validate eagerly (raises ValueError)
+        self.join_strategy = cfg.join_strategy
+        self.profile = cfg.profile
+        self.asp_stats: Optional[ASPStats] = (
+            ASPStats(per_rule=(cfg.profile == "rules")) if cfg.profile else None
+        )
+        presets = resolve_presets(cfg.portfolio)
         self.portfolio: Optional[PortfolioSolver] = (
             PortfolioSolver(presets, stats=self.asp_stats) if presets else None
         )
@@ -571,6 +617,8 @@ class ConcretizationSession:
         # base keys known to have a valid disk ground-cache entry (avoids a
         # probe per solve)
         self._ground_persisted: set = set()
+        # likewise for the flat snapshot layer
+        self._snapshot_persisted: set = set()
 
     # ------------------------------------------------------------------
 
@@ -651,6 +699,16 @@ class ConcretizationSession:
                 _SHARED_LAYERS.move_to_end(key)
                 self._local_layers[key] = prepared
                 return prepared, "memory"
+        if self.snapshot_store is not None:
+            # flat snapshot first (same preference as the monolithic path);
+            # an attached layer is already on disk in its preferred form, so
+            # the pickle write-through is skipped for it as well
+            prepared = self._materialize_snapshot(key)
+            if prepared is not None:
+                self._snapshot_persisted.add(key)
+                self._ground_persisted.add(key)
+                self._remember_layer(key, prepared)
+                return prepared, "disk"
         if self.ground_cache is not None:
             loaded = self.ground_cache.get(key)
             if isinstance(loaded, PreparedProgram):  # reject foreign payloads
@@ -673,13 +731,42 @@ class ConcretizationSession:
 
         Mirrors the monolithic write-through: even a prefix replayed from a
         process-wide memo is persisted if the directory lacks a valid entry,
-        so warm starts always find every prefix this session used.
+        so warm starts always find every prefix this session used — as a
+        flat snapshot (preferred) and as a pickle.
         """
+        self._persist_snapshot(key, prepared)
         if self.ground_cache is None or key in self._ground_persisted:
             return
         if not isinstance(self.ground_cache.get(key), PreparedProgram):
             self.ground_cache.put(key, prepared)
         self._ground_persisted.add(key)
+
+    def _persist_snapshot(self, key: Tuple, prepared: PreparedProgram) -> None:
+        """Write a flat snapshot through to disk (validated, self-healing)."""
+        if self.snapshot_store is None or key in self._snapshot_persisted:
+            return
+        if not self.snapshot_store.has_valid(key):
+            if self.snapshot_store.put(key, prepared):
+                self.stats.snapshot_writes += 1
+        self._snapshot_persisted.add(key)
+
+    def _materialize_snapshot(self, key: Tuple) -> Optional[PreparedProgram]:
+        """Attach + materialize the snapshot for ``key``, or None on any
+        miss.  A snapshot that attaches but turns out corrupt during the
+        lazy decode degrades to None too (tallied as a load error on the
+        store) — the caller then grounds cold and the subsequent
+        write-through replaces the damaged file."""
+        snapshot = self.snapshot_store.load(key)
+        if snapshot is None:
+            return None
+        try:
+            prepared = snapshot.materialize(stats=self.asp_stats)
+        except SnapshotError:
+            self.snapshot_store.note_load_error(key)
+            snapshot.close()
+            return None
+        self.stats.snapshot_attaches += 1
+        return prepared
 
     def _attach_instrumentation(self, prepared: PreparedProgram) -> None:
         """Point a (possibly disk- or memo-loaded) prepared program at this
@@ -692,6 +779,8 @@ class ConcretizationSession:
         """Session counters plus the active base's grounder statistics."""
         result: Dict[str, object] = dict(self.stats.as_dict())
         result["solve_cache"] = self.solve_cache.statistics()
+        if self.snapshot_store is not None:
+            result["snapshot_store"] = self.snapshot_store.statistics()
         if self._last_base is not None:
             result["base"] = self._last_base.statistics()
         result["join_strategy"] = self.join_strategy
@@ -738,6 +827,15 @@ class ConcretizationSession:
             if base is not None:
                 _SHARED_BASES.move_to_end(key)
                 self.stats.base_cache_hits += 1
+        from_snapshot = False
+        if base is None and self.snapshot_store is not None and not sharded:
+            # flat snapshots first: attaching is O(header) + a lazy decode,
+            # cheaper than walking a pickled object graph of the same base
+            base = self._attach_snapshot(key, abstract)
+            if base is not None:
+                from_snapshot = True
+                self.stats.base_disk_hits += 1
+                self._snapshot_persisted.add(key)
         probed_disk = False
         if base is None and self.ground_cache is not None and not sharded:
             probed_disk = True
@@ -765,6 +863,7 @@ class ConcretizationSession:
         if (
             self.ground_cache is not None
             and not sharded
+            and not from_snapshot
             and key not in self._ground_persisted
         ):
             # Write through even when the base came from an in-memory memo
@@ -773,12 +872,19 @@ class ConcretizationSession:
             # *validated* load (not a bare existence check), so corrupted or
             # version-skewed entries get overwritten — the cache self-heals.
             # (Sharded bases persist per chain prefix instead, inside
-            # _GroundedBase._build_layered.)
+            # _GroundedBase._build_layered; snapshot-attached bases are
+            # already on disk in their preferred form.)
             if probed_disk or not isinstance(
                 self.ground_cache.get(key), _GroundedBase
             ):
                 self.ground_cache.put(key, base)
             self._ground_persisted.add(key)
+        if not sharded:
+            # Same write-through contract for the flat snapshot beside the
+            # pickle: a validated attach probe, so damaged or skewed files
+            # are overwritten and the layer self-heals.  (Sharded bases
+            # snapshot per chain prefix inside _persist_layer.)
+            self._persist_snapshot(key, base.prepared)
         if self.share_ground_cache:
             _SHARED_BASES[key] = base
             while len(_SHARED_BASES) > _SHARED_BASES_LIMIT:
@@ -789,6 +895,16 @@ class ConcretizationSession:
             self._local_bases.popitem(last=False)
         self._last_base = base
         return base
+
+    def _attach_snapshot(
+        self, key: Tuple, abstract: Sequence[Spec]
+    ) -> Optional[_GroundedBase]:
+        """A monolithic base materialized from an mmap-attached ground
+        snapshot, or None on any miss (see :meth:`_materialize_snapshot`)."""
+        prepared = self._materialize_snapshot(key)
+        if prepared is None:
+            return None
+        return _GroundedBase.from_snapshot(self, abstract, prepared)
 
     def _base_key(self, abstract: Sequence[Spec]) -> Tuple:
         return (
@@ -1179,12 +1295,24 @@ class ParallelConcretizationSession(ConcretizationSession):
     """A :class:`ConcretizationSession` that solves batches in parallel.
 
     Pure convenience: ``ParallelConcretizationSession(...)`` is
-    ``ConcretizationSession(..., workers="auto")`` — the shared base is still
-    grounded exactly once (in the parent), the solve cache still answers
-    repeats, and results are still element-wise identical to a sequential
-    session in input order.  Pass ``workers=N`` explicitly to pin the pool
-    size, or ``worker_backend="thread"`` on platforms without ``fork``.
+    ``ConcretizationSession(..., session_config=SessionConfig(workers="auto"))``
+    — the shared base is still grounded exactly once (in the parent), the
+    solve cache still answers repeats, and results are still element-wise
+    identical to a sequential session in input order.  Pass ``workers=N``
+    explicitly to pin the pool size (this class's own parameter, not a
+    deprecated one; it overrides ``session_config.workers``), or a
+    ``session_config`` with ``worker_backend="thread"`` on platforms
+    without ``fork``.
     """
 
-    def __init__(self, *args, workers: Union[int, str] = "auto", **kwargs):
-        super().__init__(*args, workers=workers, **kwargs)
+    def __init__(
+        self,
+        *args,
+        workers: Union[int, str] = "auto",
+        session_config: Optional[SessionConfig] = None,
+        **kwargs,
+    ):
+        base = session_config if session_config is not None else SessionConfig()
+        super().__init__(
+            *args, session_config=base.replace(workers=workers), **kwargs
+        )

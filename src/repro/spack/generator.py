@@ -22,6 +22,7 @@ structural features:
 from __future__ import annotations
 
 import random
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
@@ -50,6 +51,14 @@ def _make_package_class(
     for conflict_spec in conflict_specs:
         conflicts(conflict_spec)
     cls = PackageMeta(f"Synthetic_{name.replace('-', '_')}", (Package,), {"name": name})
+    # Register the class as a real module attribute: dynamically created
+    # classes are only picklable when ``pickle`` can resolve them by
+    # ``__module__.__qualname__``, and the persistent ground cache pickles
+    # base programs whose spec graphs reference these classes.  Same-name
+    # rebuilds (same seed) simply re-register an equivalent class.
+    cls.__module__ = __name__
+    cls.__qualname__ = cls.__name__
+    setattr(sys.modules[__name__], cls.__name__, cls)
     return cls
 
 

@@ -38,12 +38,14 @@ from __future__ import annotations
 import asyncio
 import queue
 import threading
+import warnings
 from contextlib import aclosing
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
 
 from repro.asp.configs import SolverPreset
 from repro.spack.concretize.async_session import AsyncConcretizationSession
 from repro.spack.concretize.concretizer import ConcretizationResult
+from repro.spack.concretize.config import LEGACY_SESSION_KWARGS, SessionConfig
 from repro.spack.concretize.session import ConcretizationSession
 from repro.spack.errors import (
     SpackError,
@@ -66,35 +68,69 @@ DEFAULT_TENANT = "default"
 # ---------------------------------------------------------------------------
 
 
+def error_body(
+    status: int, code: str, message: str, detail: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """The one error envelope every service response uses.
+
+    All error bodies — every 400/404/422/429/499/500/504 JSON response and
+    every terminal NDJSON error record — have exactly this shape::
+
+        {"status": <int>, "error": {"code": ..., "message": ..., "detail": {...}}}
+
+    ``code`` is a stable machine-readable identifier (``bad_request``,
+    ``unknown_tenant``, ``unsolvable``, ``overloaded``,
+    ``deadline_exceeded``, ``not_found``, ``cancelled``, ``internal``);
+    ``message`` is human-readable and may change; ``detail`` carries
+    error-specific structured fields (possibly empty, never absent).  See
+    ``docs/SERVICE.md``.
+    """
+    return {
+        "status": status,
+        "error": {"code": code, "message": message, "detail": dict(detail or {})},
+    }
+
+
 class ServiceError(SpackError):
     """Base class for request-level service failures."""
 
     status = 500
+    code = "internal"
+
+    def detail(self) -> Dict[str, object]:
+        """Error-specific structured fields (the ``error.detail`` object)."""
+        return {}
 
     def payload(self) -> Dict[str, object]:
-        return {"error": str(self), "status": self.status}
+        return error_body(self.status, self.code, str(self), self.detail())
 
 
 class BadRequestError(ServiceError):
     """Malformed request: unparsable spec, bad deadline, bad body (400)."""
 
     status = 400
+    code = "bad_request"
 
 
 class UnknownTenantError(ServiceError):
     """The request names a tenant that was never registered (404)."""
 
     status = 404
+    code = "unknown_tenant"
 
     def __init__(self, tenant: str):
         super().__init__(f"unknown tenant {tenant!r}")
         self.tenant = tenant
+
+    def detail(self) -> Dict[str, object]:
+        return {"tenant": self.tenant}
 
 
 class OverloadedError(ServiceError):
     """The admission queue is full; shed load instead of queueing (429)."""
 
     status = 429
+    code = "overloaded"
 
     def __init__(self, retry_after_s: float):
         super().__init__(
@@ -102,21 +138,28 @@ class OverloadedError(ServiceError):
         )
         self.retry_after_s = retry_after_s
 
+    def detail(self) -> Dict[str, object]:
+        return {"retry_after_s": self.retry_after_s}
+
 
 class DeadlineExceededError(ServiceError):
     """The request's deadline elapsed; its solve was cancelled (504)."""
 
     status = 504
+    code = "deadline_exceeded"
 
     def __init__(self, deadline_s: float):
         super().__init__(f"deadline of {deadline_s:g}s exceeded")
         self.deadline_s = deadline_s
 
+    def detail(self) -> Dict[str, object]:
+        return {"deadline_s": self.deadline_s}
+
 
 class UnsolvableError(ServiceError):
     """The spec parsed but cannot be concretized (422).
 
-    For unsatisfiable specs the payload carries the **minimal conflict
+    For unsatisfiable specs ``error.detail`` carries the **minimal conflict
     core** extracted by :func:`~repro.spack.concretize.explain.explain_unsat`
     — ``conflict_core`` is a list of constraint-provenance dicts (package,
     kind, directive, when, and a rendered ``constraint`` line) — plus the
@@ -125,6 +168,7 @@ class UnsolvableError(ServiceError):
     """
 
     status = 422
+    code = "unsolvable"
 
     def __init__(
         self,
@@ -136,9 +180,8 @@ class UnsolvableError(ServiceError):
         self.explanation = list(explanation or ())
         self.specs = list(specs or ())
 
-    def payload(self) -> Dict[str, object]:
-        body = super().payload()
-        body["conflict_core"] = self.explanation
+    def detail(self) -> Dict[str, object]:
+        body: Dict[str, object] = {"conflict_core": self.explanation}
         if self.specs:
             body["specs"] = self.specs
         return body
@@ -158,13 +201,13 @@ class TenantState:
         repo: Repository,
         *,
         max_concurrency: int,
-        worker_backend: str,
+        session_config: SessionConfig,
         session_kwargs: Optional[Dict] = None,
     ):
         self.name = name
         self.repo = repo
         self.session = ConcretizationSession(
-            repo=repo, worker_backend=worker_backend, **(session_kwargs or {})
+            repo=repo, session_config=session_config, **(session_kwargs or {})
         )
         self.async_session = AsyncConcretizationSession(
             session=self.session, max_concurrency=max_concurrency
@@ -200,11 +243,18 @@ class ConcretizationService:
       ``max_concurrency`` before new ones are shed with 429;
     * ``default_deadline_s`` — deadline applied when a request carries none;
     * ``retry_after_s`` — the hint returned with 429 responses;
-    * ``worker_backend`` — backend for the underlying sessions.  Defaults to
-      ``"thread"``: the service process runs many transport threads, and
-      forking a process pool out of a threaded server is a foot-gun;
-    * ``session_kwargs`` — extra :class:`ConcretizationSession` keyword
-      arguments applied to every tenant session (e.g. ``cache_dir``).
+    * ``session_config`` — a :class:`~repro.spack.concretize.SessionConfig`
+      applied to every tenant session (``cache_dir`` for warm restarts and
+      shared snapshots, ``join_strategy``, cache bounds, ...).  The service
+      resolves a ``worker_backend`` of ``"auto"`` to ``"thread"``: the
+      service process runs many transport threads, and forking a process
+      pool out of a threaded server is a foot-gun;
+    * ``worker_backend`` — explicit backend override for the underlying
+      sessions (wins over ``session_config.worker_backend``);
+    * ``session_kwargs`` — *deprecated*: extra
+      :class:`ConcretizationSession` keyword arguments applied to every
+      tenant session.  Configuration keys (``cache_dir``, ...) fold into
+      ``session_config``; pass :class:`SessionConfig` directly instead.
 
     Use as a context manager, or call :meth:`start` / :meth:`close`.
     """
@@ -213,13 +263,41 @@ class ConcretizationService:
         self,
         base_repo: Optional[Repository] = None,
         *,
-        max_concurrency: int = 4,
+        max_concurrency: Optional[int] = None,
         queue_limit: int = 8,
         default_deadline_s: float = 30.0,
         retry_after_s: float = 1.0,
-        worker_backend: str = "thread",
+        worker_backend: Optional[str] = None,
+        session_config: Optional[SessionConfig] = None,
         session_kwargs: Optional[Dict] = None,
     ):
+        config = session_config if session_config is not None else SessionConfig()
+        extra = dict(session_kwargs or {})
+        if extra:
+            warnings.warn(
+                "ConcretizationService(session_kwargs=...) is deprecated; pass "
+                "session_config=SessionConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides = {
+                LEGACY_SESSION_KWARGS[key]: extra.pop(key)
+                for key in list(extra)
+                if key in LEGACY_SESSION_KWARGS
+            }
+            if overrides:
+                config = config.replace(**overrides)
+        if worker_backend is None:
+            worker_backend = (
+                "thread"
+                if config.worker_backend == "auto"
+                else config.worker_backend
+            )
+        config = config.replace(worker_backend=worker_backend)
+        if max_concurrency is None:
+            max_concurrency = (
+                config.max_concurrency if config.max_concurrency is not None else 4
+            )
         if int(max_concurrency) < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency!r}")
         if int(queue_limit) < 0:
@@ -230,7 +308,8 @@ class ConcretizationService:
         self.default_deadline_s = float(default_deadline_s)
         self.retry_after_s = float(retry_after_s)
         self.worker_backend = worker_backend
-        self.session_kwargs = dict(session_kwargs or {})
+        self.session_config = config
+        self.session_kwargs = extra  # non-config leftovers (repo wiring, ...)
 
         self._admission = threading.Semaphore(self.max_concurrency + self.queue_limit)
         self._lock = threading.Lock()
@@ -340,7 +419,7 @@ class ConcretizationService:
             name,
             repo,
             max_concurrency=self.max_concurrency,
-            worker_backend=self.worker_backend,
+            session_config=self.session_config,
             session_kwargs=self.session_kwargs,
         )
         state.overlay = overlay if isinstance(overlay, ShardedRepository) else None
@@ -586,13 +665,13 @@ class ConcretizationService:
             self._count("deadline_exceeded")
             out.put(("error", DeadlineExceededError(deadline_s).payload()))
         except asyncio.CancelledError:
-            out.put(("error", {"error": "stream cancelled", "status": 499}))
+            out.put(("error", error_body(499, "cancelled", "stream cancelled")))
             raise
         except Exception as exc:  # solver/encode errors end the stream
             try:
                 mapped = self._map_solve_error(exc)
             except BaseException:
-                out.put(("error", {"error": f"internal error: {exc}", "status": 500}))
+                out.put(("error", error_body(500, "internal", f"internal error: {exc}")))
             else:
                 self._count("unsolvable")
                 out.put(("error", mapped.payload()))
@@ -657,15 +736,31 @@ class ConcretizationService:
         }
 
     def statistics(self) -> Dict[str, object]:
-        """Service counters plus per-tenant session/cache statistics."""
+        """Service counters plus per-tenant session/cache statistics.
+
+        ``service.snapshot`` rolls up warm-start provenance across every
+        tenant session: how many grounded bases arrived by **attaching** an
+        mmap snapshot versus being **cold-ground** from scratch (the number
+        a multi-process deployment watches to confirm workers share one
+        warm base — see ``docs/ARCHITECTURE.md``).
+        """
         with self._lock:
             counters = dict(self.counters)
+        snapshot = {"attaches": 0, "writes": 0, "cold_grounds": 0}
+        for state in self._tenants.values():
+            stats = state.session.stats
+            snapshot["attaches"] += stats.snapshot_attaches
+            snapshot["writes"] += stats.snapshot_writes
+            snapshot["cold_grounds"] += (
+                stats.base_groundings + stats.shard_layers_grounded
+            )
         return {
             "service": {
                 **counters,
                 "max_concurrency": self.max_concurrency,
                 "queue_limit": self.queue_limit,
                 "default_deadline_s": self.default_deadline_s,
+                "snapshot": snapshot,
             },
             "tenants": {
                 name: state.statistics() for name, state in self._tenants.items()

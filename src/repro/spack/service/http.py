@@ -18,7 +18,7 @@ service core onto four endpoints:
     With ``"stream": true``, responds ``200 application/x-ndjson`` with one
     JSON record per line in *completion* order (chunked transfer encoding),
     terminated by a summary record — a mid-stream deadline or solver error
-    arrives as a final ``{"error": ..., "status": ...}`` record.
+    arrives as a final record in the uniform error envelope.
 
 ``GET /v1/healthz`` / ``GET /v1/stats``
     Liveness and the service/tenant statistics payloads.
@@ -28,12 +28,16 @@ The deadline may ride in the body (``deadline_s``) or in an
 the body (``tenant``) or an ``X-Tenant`` header.  Error mapping is the
 service core's: 400 malformed request or spec, 404 unknown tenant/route,
 422 unsolvable, 429 overloaded (with ``Retry-After``), 504 deadline
-exceeded, 500 anything unexpected.
+exceeded, 500 anything unexpected.  Every error body — including streamed
+terminal records — is the :func:`~repro.spack.service.app.error_body`
+envelope ``{"status": ..., "error": {"code", "message", "detail"}}``
+documented in ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -43,6 +47,7 @@ from repro.spack.service.app import (
     ConcretizationService,
     OverloadedError,
     ServiceError,
+    error_body,
 )
 
 MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for spec batches
@@ -136,7 +141,7 @@ class ConcretizationRequestHandler(BaseHTTPRequestHandler):
             elif self.path == "/v1/stats":
                 self._send_json(200, self.service.statistics())
             else:
-                self._send_json(404, {"error": f"no such route: {self.path}", "status": 404})
+                self._send_json(404, self._no_route())
         except BrokenPipeError:
             pass
 
@@ -147,13 +152,18 @@ class ConcretizationRequestHandler(BaseHTTPRequestHandler):
             elif self.path == "/v1/concretize_batch":
                 self._concretize_batch()
             else:
-                self._send_json(404, {"error": f"no such route: {self.path}", "status": 404})
+                self._send_json(404, self._no_route())
         except ServiceError as exc:
             self._send_error_payload(exc)
         except BrokenPipeError:
             pass
         except Exception as exc:  # unexpected: 500, keep the worker alive
-            self._send_json(500, {"error": f"internal error: {exc}", "status": 500})
+            self._send_json(500, error_body(500, "internal", f"internal error: {exc}"))
+
+    def _no_route(self) -> Dict:
+        return error_body(
+            404, "not_found", f"no such route: {self.path}", {"path": self.path}
+        )
 
     def _concretize_one(self):
         body = self._read_body()
@@ -240,27 +250,111 @@ class ConcretizationServer:
         self.stop()
 
 
+def _serve_process(
+    httpd: ThreadingHTTPServer, service_factory, verbose: bool
+) -> None:
+    """Serve forever on an already-bound listener with a process-local service.
+
+    The service is created *after* any fork: each worker process owns its
+    event loop and sessions, while warm state is shared through the ground
+    snapshot files on disk (``SessionConfig(cache_dir=...)``) rather than
+    through memory.
+    """
+    service = service_factory()
+    service.start()
+    httpd.daemon_threads = True
+    httpd.service = service
+    httpd.verbose = verbose
+    try:
+        httpd.serve_forever()
+    finally:
+        service.close()
+
+
 def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     *,
     service: Optional[ConcretizationService] = None,
     verbose: bool = True,
+    workers: int = 1,
+    service_factory=None,
 ) -> None:
-    """Run a server until interrupted (the ``python -m`` entry point)."""
-    own_service = service is None
-    if service is None:
-        service = ConcretizationService()
-    service.start()
-    server = ConcretizationServer(service, host, port, verbose=verbose)
-    server.start()
-    print(f"concretization service listening on {server.url}")
+    """Run a server until interrupted (the ``python -m`` entry point).
+
+    With ``workers > 1`` the listener socket is bound once, then the
+    process forks: every worker process ``accept()``\\ s on the shared
+    socket (the kernel load-balances connections) and builds its *own*
+    :class:`ConcretizationService` from ``service_factory``.  Point the
+    factory's :class:`~repro.spack.concretize.SessionConfig` at a shared
+    ``cache_dir`` and the first worker to ground a base publishes an mmap
+    snapshot that every other worker attaches — N processes, one warm
+    base, near-zero-copy startup (``GET /v1/stats`` →
+    ``service.snapshot`` shows attaches vs cold grounds per worker).
+    Requires :func:`os.fork`; on platforms without it the worker count
+    falls back to 1.
+    """
+    workers = int(workers)
+    if workers > 1 and not hasattr(os, "fork"):
+        print("os.fork is unavailable on this platform; serving with 1 worker")
+        workers = 1
+    if workers <= 1:
+        own_service = service is None
+        if service is None:
+            factory = service_factory or ConcretizationService
+            service = factory()
+        service.start()
+        server = ConcretizationServer(service, host, port, verbose=verbose)
+        server.start()
+        print(f"concretization service listening on {server.url}")
+        try:
+            while True:
+                server._thread.join(timeout=1)
+        except KeyboardInterrupt:
+            print("shutting down")
+        finally:
+            server.stop()
+            if own_service:
+                service.close()
+        return
+
+    import signal
+
+    if service is not None:
+        raise ValueError(
+            "workers > 1 needs a per-process service_factory, not a shared "
+            "service instance"
+        )
+    factory = service_factory or ConcretizationService
+    httpd = ThreadingHTTPServer((host, port), ConcretizationRequestHandler)
+    bound_port = httpd.server_address[1]
+    children = []
+    for _ in range(1, workers):
+        pid = os.fork()
+        if pid == 0:  # worker: serve on the inherited socket, never return
+            signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+            try:
+                _serve_process(httpd, factory, verbose)
+            finally:
+                os._exit(0)
+        children.append(pid)
+    print(
+        f"concretization service listening on http://{host}:{bound_port} "
+        f"({workers} worker processes)"
+    )
     try:
-        while True:
-            server._thread.join(timeout=1)
+        _serve_process(httpd, factory, verbose)
     except KeyboardInterrupt:
         print("shutting down")
     finally:
-        server.stop()
-        if own_service:
-            service.close()
+        httpd.server_close()
+        for pid in children:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+        for pid in children:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass

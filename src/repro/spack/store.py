@@ -18,7 +18,11 @@ sessions (:mod:`repro.spack.concretize.session`) layer on top of the store:
   batch with zero solver calls;
 * :class:`PersistentGroundCache` — an on-disk (pickle) cache of grounded
   base programs, so warm processes skip re-grounding the shared
-  spec-independent fact layer.
+  spec-independent fact layer;
+* :class:`SnapshotStore` — flat, mmap-able ground snapshots
+  (:mod:`repro.asp.snapshot`) written beside the pickle entries, so N
+  service processes *attach* one shared warm base with near-zero-copy
+  startup instead of each unpickling its own object graph.
 
 All persistent layers share the invariants documented in ``docs/CACHING.md``:
 content-hash keys (never mtimes), a :data:`CACHE_FORMAT_VERSION` field in
@@ -49,7 +53,7 @@ from repro.spack.spec_parser import parse_spec
 #: serialized layout (or the semantics of what is cached) changes; readers
 #: treat any other version as a miss, so old and new code can share one cache
 #: directory without ever exchanging garbage.
-CACHE_FORMAT_VERSION = 3
+CACHE_FORMAT_VERSION = 4
 
 #: Age after which an orphaned ``.tmp`` file (an interrupted writer's
 #: leftover) may be reaped by budgeted pruning; generous enough that no
@@ -713,4 +717,165 @@ class PersistentGroundCache:
         return (
             f"<PersistentGroundCache at {self.cache_dir!r}, "
             f"{self.hits} hits / {self.misses} misses>"
+        )
+
+
+class SnapshotStore:
+    """On-disk, mmap-able ground snapshots beside the pickle ground cache.
+
+    Where :class:`PersistentGroundCache` pickles whole prepared-program
+    object graphs, this store writes the flat binary form produced by
+    :func:`repro.asp.snapshot.snapshot_bytes` under
+    ``<cache_dir>/snapshot/<sha256(token)>.snap`` — one file per base, safe
+    for any number of concurrent readers because attaching maps it
+    read-only.  :meth:`load` returns an *attached*
+    :class:`~repro.asp.snapshot.GroundSnapshot` handle (O(1): header
+    validation only); the caller materializes it lazily.
+
+    The envelope invariants match the other persistent layers: the key
+    token (which embeds :data:`CACHE_FORMAT_VERSION`) is echoed inside the
+    file and checked on attach, writes are atomic, every write prunes
+    least-recently-used entries beyond ``max_entries`` / ``max_bytes``
+    (never the file just written), and any damaged, truncated,
+    version-skewed, or foreign file degrades to a miss — tallied under
+    ``load_errors`` when the file was actually corrupt.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        persist: bool = True,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self.cache_dir = cache_dir
+        self.persist = persist
+        # no codec: the snapshot module owns the byte layout; this layer
+        # reuses only the path mapping and LRU pruning machinery
+        self._disk = _DiskCacheLayer(
+            cache_dir,
+            "snapshot",
+            ".snap",
+            None,
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+        )
+        self.attaches = 0
+        self.misses = 0
+        self.load_errors = 0
+        self.writes = 0
+        self.write_errors = 0
+        self.evictions = 0
+        self._lock = threading.RLock()
+
+    def _token(self, key: Hashable) -> str:
+        # the format version is part of the token (not just the envelope):
+        # a version bump changes the filename, so skewed readers see a
+        # plain miss without even opening old files
+        return f"v{CACHE_FORMAT_VERSION}:" + cache_key_token(key)
+
+    def path_for(self, key: Hashable) -> str:
+        return self._disk.path_for(self._token(key))
+
+    def load(self, key: Hashable):
+        """Attach the snapshot for ``key`` read-only, or None on any miss.
+
+        The returned :class:`~repro.asp.snapshot.GroundSnapshot` has only
+        had its header validated; corruption in the payload surfaces when
+        the caller materializes it (and must be treated as a cold ground —
+        sessions do, via :meth:`note_load_error`).
+        """
+        if not self.persist:
+            return None
+        from repro.asp.snapshot import GroundSnapshot, SnapshotError
+
+        token = self._token(key)
+        path = self._disk.path_for(token)
+        try:
+            snapshot = GroundSnapshot.attach(path, expected_key=token)
+        except SnapshotError as exc:
+            with self._lock:
+                if exc.kind != "miss":
+                    self.load_errors += 1
+                self.misses += 1
+            return None
+        with self._lock:
+            self.attaches += 1
+        self._disk._touch(path)
+        return snapshot
+
+    def has_valid(self, key: Hashable) -> bool:
+        """Whether a validated snapshot exists for ``key`` (a silent attach
+        probe: no counters move, so write-through existence checks do not
+        skew the attach/miss statistics that ``/v1/stats`` reports)."""
+        if not self.persist:
+            return False
+        from repro.asp.snapshot import GroundSnapshot, SnapshotError
+
+        token = self._token(key)
+        try:
+            snapshot = GroundSnapshot.attach(
+                self._disk.path_for(token), expected_key=token
+            )
+        except SnapshotError:
+            return False
+        snapshot.close()
+        return True
+
+    def note_load_error(self, key: Hashable = None) -> None:
+        """Record a snapshot that attached but failed to materialize
+        (payload corruption found during the lazy decode).  When the key is
+        given, the damaged file is removed so the caller's write-through —
+        which probes :meth:`has_valid` and would otherwise be fooled by the
+        file's intact *header* — rewrites it."""
+        with self._lock:
+            self.load_errors += 1
+            self.attaches -= 1
+            self.misses += 1
+        if key is not None:
+            try:
+                os.unlink(self._disk.path_for(self._token(key)))
+            except OSError:
+                pass
+
+    def put(self, key: Hashable, prepared) -> bool:
+        """Encode and persist ``prepared`` under ``key`` (best effort)."""
+        if not self.persist:
+            return False
+        from repro.asp.snapshot import SnapshotError, snapshot_bytes
+
+        token = self._token(key)
+        try:
+            payload = snapshot_bytes(prepared, key=token)
+        except SnapshotError:
+            # not snapshot-capable (naive grounder, exotic state): not an
+            # I/O failure, so it does not count against write_errors
+            return False
+        try:
+            path = self._disk.path_for(token)
+            _atomic_write_bytes(path, payload)
+        except Exception:
+            with self._lock:
+                self.write_errors += 1
+            return False
+        evicted = self._disk._prune(keep=path)
+        with self._lock:
+            self.writes += 1
+            self.evictions += evicted
+        return True
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "attaches": self.attaches,
+            "misses": self.misses,
+            "load_errors": self.load_errors,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self):
+        return (
+            f"<SnapshotStore at {self.cache_dir!r}, "
+            f"{self.attaches} attaches / {self.misses} misses>"
         )

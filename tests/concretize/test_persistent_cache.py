@@ -61,6 +61,10 @@ def ground_files(cache_dir):
     return sorted(glob.glob(os.path.join(str(cache_dir), "ground", "*.pkl")))
 
 
+def snapshot_files(cache_dir):
+    return sorted(glob.glob(os.path.join(str(cache_dir), "snapshot", "*.snap")))
+
+
 # ---------------------------------------------------------------------------
 # Warm starts
 # ---------------------------------------------------------------------------
@@ -219,9 +223,11 @@ def test_version_mismatch_is_a_miss_not_an_error(micro_repo, tmp_path):
 def test_corrupted_ground_entry_degrades_to_fresh_grounding(micro_repo, tmp_path):
     one = fresh_session(micro_repo, tmp_path)
     expected = signature(one.solve(["example"])[0])
-    (path,) = ground_files(tmp_path)
-    with open(path, "wb") as handle:
-        handle.write(b"not a pickle")
+    # damage both on-disk forms of the grounded base: the flat snapshot
+    # (preferred on load) and the pickled fallback
+    for path in ground_files(tmp_path) + snapshot_files(tmp_path):
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
 
     two = fresh_session(micro_repo, tmp_path, solve_cache=SolveCache())
     assert signature(two.solve(["example"])[0]) == expected
@@ -229,6 +235,8 @@ def test_corrupted_ground_entry_degrades_to_fresh_grounding(micro_repo, tmp_path
     assert two.stats.base_disk_hits == 0
     assert two.ground_cache.load_errors == 1
     assert two.ground_cache.writes == 1  # the damaged entry was overwritten
+    assert two.snapshot_store.load_errors == 1
+    assert two.snapshot_store.writes == 1
     # the cache self-healed: the next cold session loads the base from disk
     three = fresh_session(micro_repo, tmp_path, solve_cache=SolveCache())
     three.solve(["example"])

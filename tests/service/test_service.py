@@ -14,7 +14,11 @@ The contract under test (ISSUE 6 tentpole):
   tenant sees its private packages, other tenants get 422 for them, and
   the base family stays shared;
 * parse errors map to 400, unknown tenants to 404, unsolvable specs to
-  422 — a malformed request never kills a worker thread.
+  422 — a malformed request never kills a worker thread;
+* every error body — HTTP responses and streamed terminal records alike —
+  uses the one envelope ``{"status": ..., "error": {"code", "message",
+  "detail"}}`` (ISSUE 9), and the service accepts a ``SessionConfig``
+  instead of loose session kwargs.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ import urllib.request
 
 import pytest
 
+from repro.spack.concretize.config import SessionConfig
 from repro.spack.concretize.session import ConcretizationSession, clear_shared_bases
 from repro.spack.directives import depends_on, version
 from repro.spack.package import Package
@@ -58,7 +63,7 @@ def service(micro_repo):
         queue_limit=1,
         default_deadline_s=60.0,
         retry_after_s=0.25,
-        session_kwargs={"share_ground_cache": False},
+        session_config=SessionConfig(share_ground_cache=False),
     ) as svc:
         yield svc
 
@@ -139,8 +144,10 @@ def test_unsolvable_payload_carries_the_conflict_core(service):
         service.concretize("example %intel")
     payload = excinfo.value.payload()
     assert payload["status"] == 422
-    assert payload["specs"] == ["example %intel"]
-    core = payload["conflict_core"]
+    assert payload["error"]["code"] == "unsolvable"
+    detail = payload["error"]["detail"]
+    assert detail["specs"] == ["example %intel"]
+    core = detail["conflict_core"]
     assert [entry["constraint"] for entry in core] == [
         'example: conflicts("%intel")',
         'example: requested spec "example %intel"',
@@ -155,7 +162,7 @@ def test_unsolvable_payload_carries_the_conflict_core(service):
     # an *unknown package* is unsolvable too, but has no core to report
     with pytest.raises(UnsolvableError) as excinfo:
         service.concretize("no-such-package")
-    assert excinfo.value.payload()["conflict_core"] == []
+    assert excinfo.value.payload()["error"]["detail"]["conflict_core"] == []
 
 
 def test_streamed_batch_error_record_carries_the_conflict_core(service):
@@ -165,7 +172,9 @@ def test_streamed_batch_error_record_carries_the_conflict_core(service):
         service.stream_batch(["example@1.0.0", "example %intel"])
     )
     assert records[-1]["status"] == 422
-    assert [e["constraint"] for e in records[-1]["conflict_core"]] == [
+    assert records[-1]["error"]["code"] == "unsolvable"
+    core = records[-1]["error"]["detail"]["conflict_core"]
+    assert [e["constraint"] for e in core] == [
         'example: conflicts("%intel")',
         'example: requested spec "example %intel"',
     ]
@@ -326,6 +335,8 @@ def test_http_healthz_and_stats(server):
     assert status == 200
     assert body["service"]["max_concurrency"] == 2
     assert "default" in body["tenants"]
+    # snapshot-attach vs cold-ground rollup is always present
+    assert set(body["service"]["snapshot"]) == {"attaches", "writes", "cold_grounds"}
 
 
 def test_http_concretize_and_errors(server):
@@ -337,23 +348,31 @@ def test_http_concretize_and_errors(server):
 
     status, body, _ = http_json(f"{server.url}/v1/concretize", {"spec": "++"})
     assert status == 400
+    assert body["error"]["code"] == "bad_request"
     status, body, _ = http_json(
         f"{server.url}/v1/concretize", {"spec": "example", "tenant": "nobody"}
     )
     assert status == 404
+    assert body["error"]["code"] == "unknown_tenant"
+    assert body["error"]["detail"]["tenant"] == "nobody"
     status, body, _ = http_json(
         f"{server.url}/v1/concretize", {"spec": "example %intel"}
     )
     assert status == 422
-    assert [e["constraint"] for e in body["conflict_core"]] == [
+    assert body["error"]["code"] == "unsolvable"
+    detail = body["error"]["detail"]
+    assert [e["constraint"] for e in detail["conflict_core"]] == [
         'example: conflicts("%intel")',
         'example: requested spec "example %intel"',
     ]
-    assert body["specs"] == ["example %intel"]
+    assert detail["specs"] == ["example %intel"]
     status, body, _ = http_json(f"{server.url}/v1/concretize", {"wrong": 1})
     assert status == 400
+    assert body["error"]["code"] == "bad_request"
     status, body, _ = http_json(f"{server.url}/v1/nothing", {"spec": "example"})
     assert status == 404
+    assert body["error"]["code"] == "not_found"
+    assert body["error"]["detail"]["path"] == "/v1/nothing"
 
 
 def test_http_batch_and_header_options(server):
@@ -380,7 +399,9 @@ def test_http_deadline_maps_to_504(server, service, monkeypatch):
         {"spec": "example@1.0.0", "deadline_s": 0.2},
     )
     assert status == 504
-    assert "deadline" in body["error"]
+    assert body["error"]["code"] == "deadline_exceeded"
+    assert "deadline" in body["error"]["message"]
+    assert body["error"]["detail"]["deadline_s"] == pytest.approx(0.2)
     state = service._tenant(None)
     assert state.async_session._semaphore._value == service.max_concurrency
 
@@ -414,6 +435,8 @@ def test_http_429_carries_retry_after(server, service, monkeypatch):
     )
     assert status == 429
     assert headers.get("Retry-After") == "0.25"
+    assert body["error"]["code"] == "overloaded"
+    assert body["error"]["detail"]["retry_after_s"] == pytest.approx(0.25)
 
     release.set()
     for thread in threads:
@@ -449,7 +472,9 @@ def test_http_streamed_unsat_ndjson_carries_conflict_core(server):
         assert response.status == 200
         records = [json.loads(line) for line in response if line.strip()]
     assert records[-1]["status"] == 422
-    assert [e["constraint"] for e in records[-1]["conflict_core"]] == [
+    assert records[-1]["error"]["code"] == "unsolvable"
+    core = records[-1]["error"]["detail"]["conflict_core"]
+    assert [e["constraint"] for e in core] == [
         'example: conflicts("%intel")',
         'example: requested spec "example %intel"',
     ]
@@ -460,7 +485,7 @@ def test_http_streamed_unsat_ndjson_carries_conflict_core(server):
 def test_server_start_stop_is_clean(micro_repo):
     clear_shared_bases()
     service = ConcretizationService(
-        base_repo=micro_repo, session_kwargs={"share_ground_cache": False}
+        base_repo=micro_repo, session_config=SessionConfig(share_ground_cache=False)
     )
     with service, ConcretizationServer(service, port=0) as server:
         status, body, _ = http_json(f"{server.url}/v1/healthz")
@@ -469,3 +494,18 @@ def test_server_start_stop_is_clean(micro_repo):
     assert service.healthz()["status"] == "stopped"
     with pytest.raises(RuntimeError):
         service.concretize("example")
+
+
+def test_session_kwargs_is_deprecated_but_folds_into_config(micro_repo):
+    """The legacy ``session_kwargs`` dict still works — with a warning —
+    and its config keys land in the service's ``SessionConfig``."""
+    clear_shared_bases()
+    with pytest.warns(DeprecationWarning, match="session_kwargs"):
+        service = ConcretizationService(
+            base_repo=micro_repo, session_kwargs={"share_ground_cache": False}
+        )
+    assert service.session_config.share_ground_cache is False
+    # the service resolves the config's "auto" backend to threads: forking
+    # a process pool out of a threaded server is a foot-gun
+    assert service.session_config.worker_backend == "thread"
+    service.close()

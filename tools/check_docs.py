@@ -15,6 +15,12 @@ evolves.  Checked reference shapes:
 * ``some_function()`` — a ``def some_function`` must exist in ``src/``;
 * ``ALL_CAPS_CONSTANT`` — an assignment must exist in ``src/``.
 
+It also holds the docs to the *curated public surface*: every
+``from repro.spack[...] import X`` inside a fenced code block must name an
+``X`` listed in that package's ``__all__`` (so the README can only teach
+supported API), and every ``__all__`` entry must itself resolve in ``src/``
+(so the export list cannot rot either).
+
 Everything else inside backticks (shell commands, flags, file paths, plain
 words) is ignored.  Run from the repository root (CI does)::
 
@@ -144,6 +150,72 @@ def scan_text(source: pathlib.Path, text: str, corpus: str, failures: list) -> i
     return checked
 
 
+#: Packages whose ``__all__`` is the supported public surface; imports in
+#: documentation code blocks must stay within it.
+PUBLIC_PACKAGES = {
+    "repro": SRC / "repro" / "__init__.py",
+    "repro.spack": SRC / "repro" / "spack" / "__init__.py",
+    "repro.spack.concretize": SRC / "repro" / "spack" / "concretize" / "__init__.py",
+    "repro.spack.service": SRC / "repro" / "spack" / "service" / "__init__.py",
+}
+
+FENCED_BLOCK = re.compile(r"```[a-z]*\n(.*?)```", re.DOTALL)
+FROM_IMPORT = re.compile(r"^\s*from\s+(repro[\w.]*)\s+import\s+([^#\n]+)", re.MULTILINE)
+
+
+def load_exports() -> dict:
+    """``{package: set(__all__)}`` for the curated public packages."""
+    exports = {}
+    for module, path in PUBLIC_PACKAGES.items():
+        names = set()
+        for node in ast.walk(ast.parse(path.read_text(encoding="utf-8"))):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                names = set(ast.literal_eval(node.value))
+        exports[module] = names
+    return exports
+
+
+def check_exports_resolve(exports: dict, corpus: str, failures: list) -> int:
+    """Every ``__all__`` entry must be defined somewhere in src/."""
+    checked = 0
+    for module, names in exports.items():
+        for name in sorted(names):
+            checked += 1
+            if not defined_in(name, corpus):
+                failures.append(
+                    (PUBLIC_PACKAGES[module].relative_to(REPO_ROOT), name,
+                     f"exported by {module}.__all__ but not defined in src/")
+                )
+    return checked
+
+
+def check_imports(source: pathlib.Path, text: str, exports: dict, failures: list) -> int:
+    """Imports in fenced doc code blocks must stay inside ``__all__``.
+
+    Example scripts (``.py``) are scanned whole: they are runnable docs.
+    """
+    checked = 0
+    blocks = FENCED_BLOCK.findall(text) if source.suffix == ".md" else [text]
+    for block in blocks:
+        for module, imported in FROM_IMPORT.findall(block):
+            if module not in exports:
+                continue  # deep-module imports are checked as dotted paths
+            for name in imported.replace("(", "").replace(")", "").split(","):
+                name = name.split(" as ")[0].strip()
+                if not name:
+                    continue
+                checked += 1
+                if name not in exports[module]:
+                    failures.append(
+                        (source.relative_to(REPO_ROOT),
+                         f"from {module} import {name}",
+                         f"{name!r} is not in {module}.__all__")
+                    )
+    return checked
+
+
 def example_docstring(path: pathlib.Path) -> str:
     """The module docstring of one example (empty when absent/unparsable)."""
     try:
@@ -155,14 +227,20 @@ def example_docstring(path: pathlib.Path) -> str:
 
 def main() -> int:
     corpus = load_sources()
+    exports = load_exports()
     failures = []
-    checked = 0
+    checked = check_exports_resolve(exports, corpus, failures)
     for doc in DOC_FILES:
         if not doc.is_file():
             continue
-        checked += scan_text(doc, doc.read_text(encoding="utf-8"), corpus, failures)
+        text = doc.read_text(encoding="utf-8")
+        checked += scan_text(doc, text, corpus, failures)
+        checked += check_imports(doc, text, exports, failures)
     for example in EXAMPLE_FILES:
         checked += scan_text(example, example_docstring(example), corpus, failures)
+        checked += check_imports(
+            example, example.read_text(encoding="utf-8"), exports, failures
+        )
 
     for doc, token, reason in failures:
         print(f"FAIL {doc}: `{token}` — {reason}", file=sys.stderr)

@@ -16,16 +16,30 @@ drives the request lifecycle end to end:
 6. ``GET /v1/stats`` reflects exactly the traffic driven;
 7. server and service shut down cleanly (no lingering non-daemon threads).
 
+With ``--workers N`` it instead exercises the multi-process warm-start
+contract (ISSUE 9 tentpole): N server processes share one ``cache_dir``;
+the first request grounds cold and publishes an mmap ground snapshot, and
+every later worker reaches warm state by *attaching* it — asserted as
+``service.snapshot.cold_grounds == 0`` with ``attaches >= 1`` on the
+second worker's ``/v1/stats``.
+
 Exits non-zero on the first violated expectation.  Run from the repository
 root (CI does)::
 
     PYTHONPATH=src python tools/smoke_service.py
+    PYTHONPATH=src python tools/smoke_service.py --workers 2
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
+import shutil
+import socket
+import subprocess
 import sys
+import tempfile
 import time
 import urllib.error
 import urllib.request
@@ -102,12 +116,15 @@ def main() -> int:
         status, body = request(
             f"{server.url}/v1/concretize", {"spec": "zlib@99.99"}
         )
-        core = body.get("conflict_core", [])
+        error = body.get("error", {})
+        detail = error.get("detail", {}) if isinstance(error, dict) else {}
         check("unsatisfiable spec returns 422 with its conflict core",
               status == 422
-              and [entry.get("constraint") for entry in core]
+              and error.get("code") == "unsolvable"
+              and [entry.get("constraint")
+                   for entry in detail.get("conflict_core", [])]
               == ['zlib: requested spec "zlib @99.99"']
-              and body.get("specs") == ["zlib @99.99"],
+              and detail.get("specs") == ["zlib @99.99"],
               f"status={status} body={body}")
 
         status, body = request(f"{server.url}/v1/stats")
@@ -129,5 +146,105 @@ def main() -> int:
     return 0
 
 
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_healthy(url: str, proc: subprocess.Popen, timeout: float = 60.0) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            return False
+        try:
+            status, body = request(f"{url}/v1/healthz")
+            if status == 200 and body.get("status") == "ok":
+                return True
+        except (urllib.error.URLError, ConnectionError, TimeoutError):
+            pass
+        time.sleep(0.2)
+    return False
+
+
+def multi_worker_main(workers: int) -> int:
+    """N server processes, one cache_dir: later workers must attach, not ground."""
+    failures = []
+
+    def check(label, condition, detail=""):
+        status = "ok" if condition else "FAIL"
+        print(f"[smoke-service] {label}: {status}"
+              f"{' — ' + detail if detail and not condition else ''}")
+        if not condition:
+            failures.append(label)
+
+    cache_dir = tempfile.mkdtemp(prefix="smoke-service-snap-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    procs, urls = [], []
+    try:
+        for _ in range(workers):
+            port = free_port()
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.spack.service",
+                 "--port", str(port), "--cache-dir", cache_dir, "--quiet"],
+                env=env,
+            ))
+            urls.append(f"http://127.0.0.1:{port}")
+        for index, url in enumerate(urls):
+            check(f"worker {index} comes up healthy",
+                  wait_healthy(url, procs[index]))
+        if failures:
+            return 1
+
+        # worker 0 grounds cold and publishes the snapshot
+        status, body = request(f"{urls[0]}/v1/concretize", {"spec": "zlib"})
+        check("worker 0 concretizes zlib", status == 200,
+              f"status={status} body={body}")
+        status, body = request(f"{urls[0]}/v1/stats")
+        snap = body.get("service", {}).get("snapshot", {})
+        check("worker 0 ground cold and wrote the snapshot",
+              status == 200 and snap.get("cold_grounds", 0) >= 1
+              and snap.get("writes", 0) >= 1,
+              f"snapshot={snap}")
+
+        # every other worker answers a *new* spec of the same family: its
+        # base must come from the shared snapshot, with zero grounding
+        versions = ["1.2.11", "1.2.8", "1.2.3"]
+        for index, url in enumerate(urls[1:], start=1):
+            spec = f"zlib@{versions[(index - 1) % len(versions)]}"
+            status, body = request(f"{url}/v1/concretize", {"spec": spec})
+            check(f"worker {index} concretizes {spec}", status == 200,
+                  f"status={status} body={body}")
+            status, body = request(f"{url}/v1/stats")
+            snap = body.get("service", {}).get("snapshot", {})
+            check(f"worker {index} attached the snapshot with zero grounding",
+                  status == 200 and snap.get("cold_grounds") == 0
+                  and snap.get("attaches", 0) >= 1,
+                  f"snapshot={snap}")
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if failures:
+        print(f"[smoke-service] {len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print(f"[smoke-service] all multi-worker checks passed ({workers} workers)")
+    return 0
+
+
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run the multi-process warm-start smoke with N "
+                             "server processes sharing one snapshot cache")
+    args = parser.parse_args()
+    if args.workers > 1:
+        raise SystemExit(multi_worker_main(args.workers))
     raise SystemExit(main())
